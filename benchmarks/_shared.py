@@ -1,0 +1,53 @@
+"""Shared sweeps for the large-scale figures.
+
+Figs 3, 6, 7, 9, 10, 11, 14 and 15 all draw on the same underlying
+runs; these helpers route everything through the memo cache so each
+simulation happens once per pytest session.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import CALIBRATION, LARGE_LADDER, cached_run, experiment_config
+from repro.bench.sweep import sweep
+from repro.ws.results import RunResult
+
+ALLOCATIONS = ("1/N", "8RR", "8G")
+
+#: The scale standing in for the paper's 8192-process runs.
+TOP = LARGE_LADDER[-1]
+
+
+def large_sweep(
+    selector: str,
+    steal_policy: str = "one",
+    allocations=ALLOCATIONS,
+) -> dict[tuple[int, str], RunResult]:
+    return sweep(
+        CALIBRATION.large_tree,
+        LARGE_LADDER,
+        allocations=allocations,
+        selector=selector,
+        steal_policy=steal_policy,
+        trace=True,
+    )
+
+
+def top_run(selector: str, steal_policy: str = "one", allocation: str = "1/N") -> RunResult:
+    """The top-of-ladder run for one strategy (Figs 4/5/12/13 traces)."""
+    return cached_run(
+        experiment_config(
+            CALIBRATION.large_tree,
+            TOP,
+            allocation=allocation,
+            selector=selector,
+            steal_policy=steal_policy,
+            trace=True,
+        )
+    )
+
+
+def speedups(res, allocations=ALLOCATIONS, label: str = "") -> dict[str, list[float]]:
+    return {
+        f"{label} {a}".strip(): [res[(n, a)].speedup for n in LARGE_LADDER]
+        for a in allocations
+    }

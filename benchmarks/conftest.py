@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment exactly once
+(``benchmark.pedantic(..., rounds=1, iterations=1)``); the underlying
+simulations are memoised in :mod:`repro.bench.experiments`, so figures
+sharing sweeps (Fig 3's runs also feed Figs 7/10/14/15) compute each
+distinct run once per pytest session.  Measured series are persisted
+to ``benchmarks/_artifacts/*.json`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a zero-arg callable exactly once under pytest-benchmark."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Render the measured benchmark artifacts as markdown tables.
+
+Used to refresh the measured columns of EXPERIMENTS.md:
+
+    python benchmarks/summarize.py > /tmp/experiments_measured.md
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+ARTIFACTS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_artifacts")
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.3g}"
+    return str(v)
+
+
+def render_curves(name: str, payload: dict, x_key: str) -> str:
+    xs = payload[x_key]
+    curves = payload["curves"]
+    if len(xs) > 40:  # downsample long series (e.g. Fig 8's 1024 ranks)
+        step = len(xs) // 20
+        idx = list(range(0, len(xs), step))
+        xs = [xs[i] for i in idx]
+        curves = {k: [v[i] for i in idx] for k, v in curves.items()}
+    lines = [f"### {name}", ""]
+    header = f"| {x_key} | " + " | ".join(curves) + " |"
+    sep = "|" + "---|" * (len(curves) + 1)
+    lines += [header, sep]
+    for i, x in enumerate(xs):
+        row = [_fmt(x)] + [_fmt(curves[c][i]) for c in curves]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_rows(name: str, payload: dict) -> str:
+    rows = payload["rows"]
+    headers = payload.get("headers") or [f"c{i}" for i in range(len(rows[0]))]
+    lines = [f"### {name}", ""]
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    if not os.path.isdir(ARTIFACTS):
+        sys.exit(f"no artifacts at {ARTIFACTS}; run pytest benchmarks/ first")
+    for fname in sorted(os.listdir(ARTIFACTS)):
+        if not fname.endswith(".json"):
+            continue
+        with open(os.path.join(ARTIFACTS, fname)) as fh:
+            payload = json.load(fh)
+        name = fname[:-5]
+        if "rows" in payload:
+            print(render_rows(name, payload))
+            continue
+        x_key = next(
+            (k for k in ("x", "occupancy", "rounds", "alpha", "chunk", "poll", "rank") if k in payload),
+            None,
+        )
+        if x_key is None:
+            print(f"### {name}\n\n```json\n{json.dumps(payload)[:500]}\n```\n")
+            continue
+        if "curves" not in payload:
+            # Figs 4/5/12/13 style: every other list-valued key is a curve.
+            n = len(payload[x_key])
+            payload = {
+                x_key: payload[x_key],
+                "curves": {
+                    k: v
+                    for k, v in payload.items()
+                    if k != x_key and isinstance(v, list) and len(v) == n
+                },
+            }
+        print(render_curves(name, payload, x_key))
+
+
+if __name__ == "__main__":
+    main()

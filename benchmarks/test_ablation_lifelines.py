@@ -1,0 +1,58 @@
+"""Ablation: lifeline scheme (Saraswat et al.) vs plain stealing.
+
+The paper's related work positions lifelines as the contention-control
+alternative to victim-selection tuning.  The comparison here: same
+selector, with and without lifelines — lifelines should slash failed
+steals (idle ranks quiesce instead of hammering).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import CALIBRATION, cached_run, experiment_config
+from repro.bench.report import format_table, save_artifact
+
+NRANKS = 256
+VARIANTS = (
+    ("rand, no lifelines", "rand", 0, 8),
+    ("rand + 2 lifelines", "rand", 2, 8),
+    ("rand + 4 lifelines", "rand", 4, 8),
+    ("tofu/half, no lifelines", "tofu", 0, 8),
+)
+
+
+def _rows():
+    rows = []
+    for label, selector, lifelines, threshold in VARIANTS:
+        policy = "half" if "half" in label else "one"
+        r = cached_run(
+            experiment_config(
+                CALIBRATION.large_tree,
+                NRANKS,
+                allocation="1/N",
+                selector=selector,
+                steal_policy=policy,
+                lifelines=lifelines,
+                lifeline_threshold=threshold,
+                trace=True,
+            )
+        )
+        rows.append([label, r.speedup, r.failed_steals, r.mean_search_time * 1e3])
+    return rows
+
+
+def test_ablation_lifelines(once):
+    rows = once(_rows)
+    print("== Ablation: lifelines (x%d, 1/N) ==" % NRANKS)
+    print(format_table(["variant", "speedup", "failed", "search_ms"], rows))
+    save_artifact(
+        "ablation_lifelines",
+        {"rows": [[r[0], r[1], r[2], r[3]] for r in rows]},
+    )
+
+    by_label = {r[0]: r for r in rows}
+    base_failed = by_label["rand, no lifelines"][2]
+    life_failed = by_label["rand + 2 lifelines"][2]
+    # Lifelines cut failed steals dramatically.
+    assert life_failed < base_failed / 2
+    # And do not destroy throughput (within 40% of plain rand).
+    assert by_label["rand + 2 lifelines"][1] > by_label["rand, no lifelines"][1] * 0.6

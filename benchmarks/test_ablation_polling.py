@@ -1,0 +1,55 @@
+"""Ablation: polling interval (nodes expanded between message polls).
+
+The reference MPI code polls every node or two; coarser polling delays
+steal responses (the victim answers only at poll boundaries).  The
+sweep quantifies that trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import CALIBRATION, cached_run, experiment_config
+from repro.bench.report import format_series, save_artifact
+
+POLLS = (1, 2, 5, 10, 50)
+NRANKS = 128
+
+
+def _series():
+    speedups = []
+    responsiveness = []
+    for poll in POLLS:
+        r = cached_run(
+            experiment_config(
+                CALIBRATION.large_tree,
+                NRANKS,
+                allocation="1/N",
+                selector="tofu",
+                steal_policy="half",
+                poll_interval=poll,
+                trace=True,
+            )
+        )
+        speedups.append(r.speedup)
+        responsiveness.append(r.mean_session_duration * 1e6)
+    return speedups, responsiveness
+
+
+def test_ablation_poll_interval(once):
+    speedups, sessions = once(_series)
+    print(
+        format_series(
+            f"Ablation: poll interval (x{NRANKS}, tofu/half, 1/N)",
+            "poll",
+            POLLS,
+            {"speedup": speedups, "session_us": sessions},
+        )
+    )
+    save_artifact(
+        "ablation_poll",
+        {"poll": list(POLLS), "speedup": speedups, "session_us": sessions},
+    )
+
+    # Very coarse polling hurts: 50-node polls are worse than 1-2.
+    assert max(speedups[:2]) > speedups[-1] * 0.95
+    # Sessions lengthen when victims poll rarely.
+    assert sessions[-1] > sessions[0] * 0.8

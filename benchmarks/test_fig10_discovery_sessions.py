@@ -1,0 +1,53 @@
+"""Fig 10: average duration of a work-discovery session.
+
+Paper: "A work discovery session starts when a process exhaust its
+work and ends with either work in the queue or application
+termination ... the topology-specific victim selection strategy
+results in much faster work discovery."
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import LARGE_LADDER
+from repro.bench.report import format_series, save_artifact
+
+from benchmarks._shared import ALLOCATIONS, large_sweep
+
+
+def _series():
+    tofu = large_sweep("tofu", "one")
+    rand = large_sweep("rand", "one", allocations=("1/N",))
+    ref = large_sweep("reference", "one", allocations=("1/N",))
+    curves = {
+        "Reference 1/N": [
+            ref[(n, "1/N")].mean_session_duration * 1e3 for n in LARGE_LADDER
+        ],
+        "Rand 1/N": [
+            rand[(n, "1/N")].mean_session_duration * 1e3 for n in LARGE_LADDER
+        ],
+    }
+    for a in ALLOCATIONS:
+        curves[f"Tofu {a}"] = [
+            tofu[(n, a)].mean_session_duration * 1e3 for n in LARGE_LADDER
+        ]
+    return curves
+
+
+def test_fig10_work_discovery_sessions(once):
+    curves = once(_series)
+    print(
+        format_series(
+            "Fig 10: average work-discovery session duration (ms)",
+            "nranks",
+            LARGE_LADDER,
+            curves,
+        )
+    )
+    save_artifact("fig10", {"x": list(LARGE_LADDER), "curves": curves})
+
+    # Paper shape: skewed selection finds work faster than uniform
+    # random at the same (1/N) allocation, at the top scale.
+    assert curves["Tofu 1/N"][-1] < curves["Rand 1/N"][-1]
+    # Sessions are sub-runtime sane values (ms-scale here).
+    for series in curves.values():
+        assert all(0.0 <= v < 1e3 for v in series)

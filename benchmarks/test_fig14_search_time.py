@@ -1,0 +1,48 @@
+"""Fig 14: average search time of a process.
+
+Paper: "taking into account network latencies and stealing half the
+chunks of the victim greatly diminishes the time spent searching for
+work."
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import LARGE_LADDER
+from repro.bench.report import format_series, save_artifact
+
+from benchmarks._shared import ALLOCATIONS, large_sweep
+
+
+def _series():
+    ref = large_sweep("reference", "one", allocations=("1/N",))
+    opt = large_sweep("tofu", "half")
+    curves = {
+        "Reference 1/N": [
+            ref[(n, "1/N")].mean_search_time * 1e3 for n in LARGE_LADDER
+        ]
+    }
+    for a in ALLOCATIONS:
+        curves[f"Tofu Half {a}"] = [
+            opt[(n, a)].mean_search_time * 1e3 for n in LARGE_LADDER
+        ]
+    return curves
+
+
+def test_fig14_average_search_time(once):
+    curves = once(_series)
+    print(
+        format_series(
+            "Fig 14: average per-process search time (ms)",
+            "nranks",
+            LARGE_LADDER,
+            curves,
+        )
+    )
+    save_artifact("fig14", {"x": list(LARGE_LADDER), "curves": curves})
+
+    # Paper shape: the optimised 1/N spends far less time searching
+    # than the reference at top scale.
+    assert curves["Tofu Half 1/N"][-1] < curves["Reference 1/N"][-1]
+    # Search time grows with scale for the reference (work gets scarce).
+    ref = curves["Reference 1/N"]
+    assert ref[-1] > ref[0]

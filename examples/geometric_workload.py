@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Beyond the paper: victim selection on a *geometric* UTS tree.
+
+The paper evaluates binomial trees — deep, spindly, imbalance from
+heavy-tailed subtree sizes. The UTS GEO family is the opposite regime:
+shallow (depth ~ gen_mx) and wide, with imbalance from variable
+branching. This example repeats the strategy comparison on GEO_L
+(~1.3e5 nodes, depth 9) to see which conclusions carry over.
+
+Expected outcome: with abundant width and a short critical path, work
+spreads almost instantly — every strategy is close to ideal, and
+victim selection matters far less than on the binomial trees. That is
+itself a paper-consistent result: the latency effects need scarcity.
+
+Usage::
+
+    python examples/geometric_workload.py [nranks]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_uts, tree_by_name
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    nranks = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    tree = tree_by_name("GEO_L")
+
+    rows = []
+    for selector, policy in [
+        ("reference", "one"),
+        ("rand", "one"),
+        ("tofu", "half"),
+    ]:
+        result = run_uts(
+            tree=tree,
+            nranks=nranks,
+            allocation="1/N",
+            selector=selector,
+            steal_policy=policy,
+            trace=True,
+        )
+        curve = result.occupancy_curve()
+        rows.append(
+            [
+                f"{selector}/{policy}",
+                result.total_time * 1e3,
+                result.efficiency,
+                curve.max_occupancy,
+                result.failed_steals,
+            ]
+        )
+
+    print(f"GEO_L (geometric, shallow/wide), {nranks} ranks:\n")
+    print(
+        format_table(
+            ["strategy", "runtime_ms", "efficiency", "max_occ", "failed"],
+            rows,
+        )
+    )
+    spread = max(r[1] for r in rows) / min(r[1] for r in rows)
+    print(
+        f"\nRuntime spread across strategies: {spread:.2f}x — on a wide,"
+        "\nshallow tree, work is everywhere and victim selection barely"
+        "\nmatters; the paper's effects need the deep binomial scarcity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "Victim Selection and Distributed Work
+Stealing Performance: A Case Study" (Perarnau & Sato, IPDPS 2014).
+
+The package rebuilds, in Python, everything the paper's evaluation
+needed:
+
+* the UTS benchmark (:mod:`repro.uts`) — deterministic implicit
+  unbalanced trees over splittable RNGs, chunked steal-stacks;
+* a model of the K Computer (:mod:`repro.net`) — Tofu 6-D topology,
+  hierarchical latencies, the 1/N / 8RR / 8G process allocations;
+* a discrete-event cluster simulator (:mod:`repro.sim`) — per-rank
+  schedulers speaking the reference MPI steal protocol with token-ring
+  termination;
+* the paper's contribution (:mod:`repro.core`) — victim-selection
+  strategies (round-robin, uniform random, distance-skewed "Tofu"),
+  steal-half, and the starting/ending scheduling-latency metric;
+* a lifeline-based comparator (:mod:`repro.lifeline`);
+* the experiment harness (:mod:`repro.bench`) regenerating every
+  table and figure.
+
+Quickstart::
+
+    from repro import run_uts, T3S
+
+    result = run_uts(tree=T3S, nranks=64, selector="tofu",
+                     steal_policy="half")
+    print(result.summary())
+"""
+
+from repro.core.config import WorkStealingConfig
+from repro.uts.params import (
+    T3L,
+    T3M,
+    T3S,
+    T3WL,
+    T3XL,
+    T3XS,
+    T3XXL,
+    TREES,
+    TreeParams,
+    tree_by_name,
+)
+from repro.ws.results import RunResult
+from repro.ws.runner import run_uts, sequential_baseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WorkStealingConfig",
+    "RunResult",
+    "run_uts",
+    "sequential_baseline",
+    "TreeParams",
+    "TREES",
+    "tree_by_name",
+    "T3XS",
+    "T3S",
+    "T3M",
+    "T3L",
+    "T3XL",
+    "T3XXL",
+    "T3WL",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`repro.bench.experiments` — the calibrated configuration space
+  (scaled trees, rank ladders, latency model) and a memoised runner so
+  that benchmarks sharing underlying runs (e.g. Figs 3/7/10/14/15 all
+  reuse the same sweeps) execute each simulation exactly once;
+* :mod:`repro.bench.sweep` — sweep helpers over (selector, policy,
+  allocation, scale);
+* :mod:`repro.bench.report` — paper-style series/table rendering.
+"""
+
+from repro.bench.experiments import (
+    CALIBRATION,
+    LARGE_LADDER,
+    SMALL_LADDER,
+    Calibration,
+    cached_run,
+    clear_cache,
+    experiment_config,
+)
+from repro.bench.report import format_series, format_table, render_ascii_curve
+from repro.bench.sweep import sweep
+
+__all__ = [
+    "CALIBRATION",
+    "LARGE_LADDER",
+    "SMALL_LADDER",
+    "Calibration",
+    "cached_run",
+    "clear_cache",
+    "experiment_config",
+    "format_series",
+    "format_table",
+    "render_ascii_curve",
+    "sweep",
+]

@@ -1,0 +1,167 @@
+"""Calibrated experiment space for the paper reproduction.
+
+The paper ran on 1024—8192 K Computer nodes with trees of 2.8e9 and
+1.57e11 nodes.  The reproduction compresses both axes (DESIGN.md §2):
+
+* rank ladders — :data:`SMALL_LADDER` (8—128, Fig 2's band) and
+  :data:`LARGE_LADDER` (64—512, standing in for 1024—8192);
+* trees — ``T3S`` for the small band, ``T3L`` for the large one;
+* the latency model keeps the K Computer's hierarchy (node / blade /
+  cube / torus) with a per-hop cost scaled up (2 µs) to restore the
+  near/far spread that physical scale provided — at 512 ranks the
+  compact job box spans far fewer hops than 8192 nodes did, so the
+  per-hop price compensates (see EXPERIMENTS.md "Calibration");
+* a NIC serialisation cost of 0.1 µs/message models the shared
+  per-node injection path that penalised 8-processes-per-node runs.
+
+:func:`cached_run` memoises simulations by config signature: the
+benchmark suite's figures share sweeps (Fig 3's runs are also Fig 7's,
+Fig 9's also Fig 10's, ...), so each distinct simulation runs once per
+process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import WorkStealingConfig
+from repro.net.latency import HierarchicalLatency
+from repro.uts.params import TreeParams, tree_by_name
+from repro.ws.results import RunResult
+from repro.ws.runner import run_uts
+
+__all__ = [
+    "Calibration",
+    "CALIBRATION",
+    "SMALL_LADDER",
+    "LARGE_LADDER",
+    "experiment_config",
+    "cached_run",
+    "clear_cache",
+]
+
+#: Rank counts for the small-scale experiments (paper Fig 2: 8—128).
+SMALL_LADDER = (8, 16, 32, 64)
+
+#: Rank counts standing in for the paper's 1024—8192 (Figs 3—15).
+LARGE_LADDER = (64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Timing constants shared by every benchmark experiment."""
+
+    node_time: float = 1e-6  # ~ the K's 970k nodes/s
+    poll_interval: int = 2  # near per-node polling of the MPI code
+    chunk_size: int = 20  # the paper's default chunk size
+    nic_service_time: float = 1e-7
+    steal_service_time: float = 1e-6
+    intra_node: float = 4e-7
+    blade: float = 8e-7
+    cube: float = 1.2e-6
+    base: float = 1.0e-6
+    per_hop: float = 2e-6  # scaled up: restores the near/far spread
+    small_tree: str = "T3M"
+    large_tree: str = "T3L"
+
+    def latency_model(self) -> HierarchicalLatency:
+        return HierarchicalLatency(
+            intra_node=self.intra_node,
+            blade=self.blade,
+            cube=self.cube,
+            base=self.base,
+            per_hop=self.per_hop,
+        )
+
+
+CALIBRATION = Calibration()
+
+
+def experiment_config(
+    tree: TreeParams | str,
+    nranks: int,
+    allocation: str = "1/N",
+    selector: str = "reference",
+    steal_policy: str = "one",
+    calibration: Calibration = CALIBRATION,
+    **overrides,
+) -> WorkStealingConfig:
+    """Build a run config with the benchmark calibration applied."""
+    if isinstance(tree, str):
+        tree = tree_by_name(tree)
+    kwargs = dict(
+        tree=tree,
+        nranks=nranks,
+        allocation=allocation,
+        selector=selector,
+        steal_policy=steal_policy,
+        latency_model=calibration.latency_model(),
+        node_time=calibration.node_time,
+        poll_interval=calibration.poll_interval,
+        chunk_size=calibration.chunk_size,
+        nic_service_time=calibration.nic_service_time,
+        steal_service_time=calibration.steal_service_time,
+    )
+    kwargs.update(overrides)
+    return WorkStealingConfig(**kwargs)
+
+
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def _signature(cfg: WorkStealingConfig) -> tuple:
+    assert not isinstance(cfg.allocation, str)
+    assert not isinstance(cfg.selector, str)
+    assert not isinstance(cfg.steal_policy, str)
+    assert not isinstance(cfg.rng_backend, str)
+    lat = cfg.latency_model
+    lat_sig = (type(lat).__name__,) + tuple(
+        sorted((k, v) for k, v in vars(lat).items() if isinstance(v, float))
+    )
+    return (
+        cfg.tree.name,
+        cfg.nranks,
+        cfg.allocation.name,
+        cfg.selector.name,
+        cfg.steal_policy.name,
+        lat_sig,
+        cfg.chunk_size,
+        cfg.poll_interval,
+        cfg.node_time,
+        cfg.compute_rounds,
+        cfg.steal_service_time,
+        cfg.transfer_time_per_node,
+        cfg.nic_service_time,
+        cfg.clock_skew_std,
+        cfg.rng_backend.name,
+        cfg.seed,
+        cfg.trace,
+        cfg.lifelines,
+        cfg.lifeline_threshold,
+    )
+
+
+def cached_run(cfg: WorkStealingConfig) -> RunResult:
+    """Run a config, memoised on its full signature.
+
+    Traced runs subsume untraced ones: if a traced result for the same
+    physics exists, an untraced request returns it (the trace only adds
+    data, it never changes timing).
+    """
+    sig = _signature(cfg)
+    if sig in _CACHE:
+        return _CACHE[sig]
+    if not cfg.trace:
+        traced_sig = sig[:-3] + (True,) + sig[-2:]
+        if traced_sig in _CACHE:
+            return _CACHE[traced_sig]
+    result = run_uts(cfg)
+    _CACHE[sig] = result
+    return result
+
+
+def clear_cache() -> int:
+    """Drop all memoised results; returns how many were held."""
+    n = len(_CACHE)
+    _CACHE.clear()
+    return n

@@ -1,0 +1,113 @@
+"""Paper-style rendering of experiment results.
+
+Each benchmark prints the same rows/series the corresponding paper
+figure plots, via :func:`format_series` (one line per x value, one
+column per curve) and :func:`format_table`.  :func:`render_ascii_curve`
+draws a quick in-terminal sparkline of a latency profile, useful for
+eyeballing the SL/EL figures.
+
+Benchmarks also persist their series with :func:`save_artifact` so
+EXPERIMENTS.md can quote exact measured numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Mapping, Sequence
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "render_ascii_curve",
+    "save_artifact",
+    "artifact_dir",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for k, cell in enumerate(row):
+            if isinstance(cell, float):
+                cols[k].append(f"{cell:.4g}")
+            else:
+                cols[k].append(str(cell))
+    widths = [max(len(v) for v in col) for col in cols]
+    lines = []
+    for r in range(len(rows) + 1):
+        line = "  ".join(cols[k][r].rjust(widths[k]) for k in range(len(cols)))
+        lines.append(line)
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    curves: Mapping[str, Sequence[float]],
+) -> str:
+    """One paper figure as a table: x column + one column per curve."""
+    headers = [x_label] + list(curves)
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for name in curves:
+            value = curves[name][i]
+            row.append(value if value is not None else math.nan)
+        rows.append(row)
+    return f"== {title} ==\n" + format_table(headers, rows)
+
+
+def render_ascii_curve(
+    values: Sequence[float], width: int = 60, height: int = 8
+) -> str:
+    """Tiny ASCII plot of one curve (NaN-tolerant)."""
+    clean = [v for v in values if v is not None and not math.isnan(v)]
+    if not clean:
+        return "(no data)"
+    lo, hi = min(clean), max(clean)
+    span = hi - lo or 1.0
+    # Resample to `width` columns.
+    n = len(values)
+    cols = []
+    for c in range(width):
+        v = values[min(n - 1, int(c * n / width))]
+        if v is None or math.isnan(v):
+            cols.append(None)
+        else:
+            cols.append(int((v - lo) / span * (height - 1)))
+    lines = []
+    for level in range(height - 1, -1, -1):
+        line = "".join(
+            "*" if col is not None and col >= level else " " for col in cols
+        )
+        lines.append(line)
+    lines.append(f"min={lo:.4g} max={hi:.4g}")
+    return "\n".join(lines)
+
+
+def artifact_dir() -> str:
+    """Directory where benchmarks persist their measured series."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.environ.get(
+        "REPRO_ARTIFACTS", os.path.join(here, "benchmarks", "_artifacts")
+    )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_artifact(name: str, payload: dict) -> str:
+    """Persist one experiment's series as JSON; returns the path."""
+    path = os.path.join(artifact_dir(), f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+    return path

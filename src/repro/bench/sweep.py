@@ -1,0 +1,41 @@
+"""Parameter sweeps over the experiment space."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.experiments import CALIBRATION, Calibration, cached_run, experiment_config
+from repro.uts.params import TreeParams
+from repro.ws.results import RunResult
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    tree: TreeParams | str,
+    ladder: Iterable[int],
+    allocations: Iterable[str] = ("1/N",),
+    selector: str = "reference",
+    steal_policy: str = "one",
+    calibration: Calibration = CALIBRATION,
+    **overrides,
+) -> dict[tuple[int, str], RunResult]:
+    """Run ``selector/steal_policy`` over ``ladder x allocations``.
+
+    Returns ``{(nranks, allocation): RunResult}``; results come from
+    the shared memo cache, so overlapping sweeps are free.
+    """
+    results: dict[tuple[int, str], RunResult] = {}
+    for nranks in ladder:
+        for allocation in allocations:
+            cfg = experiment_config(
+                tree,
+                nranks,
+                allocation=allocation,
+                selector=selector,
+                steal_policy=steal_policy,
+                calibration=calibration,
+                **overrides,
+            )
+            results[(nranks, allocation)] = cached_run(cfg)
+    return results

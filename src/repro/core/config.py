@@ -1,0 +1,162 @@
+"""Run configuration for distributed work-stealing executions.
+
+:class:`WorkStealingConfig` gathers every knob of a run — tree,
+process count, placement, victim selection, steal policy, timing
+constants — validates it eagerly, and resolves string shorthands
+(``selector="tofu"``, ``steal_policy="half"``) into the concrete
+strategy objects.
+
+Timing constants and their paper anchors:
+
+``node_time``
+    Seconds of compute per tree node at one SHA round.  The paper
+    measures "an average of 970000 nodes per second" on the K Computer
+    — ``1e-6`` approximates it.
+``compute_rounds``
+    The work-granularity knob of §V-B ("the UTS parameter dictating
+    the number of SHA rounds to execute when creating a node"); scales
+    per-node compute time linearly.
+``poll_interval``
+    Nodes expanded between MPI progress polls; pending steal requests
+    are answered at poll boundaries, modelling that "a process stealing
+    work will in fact post a request to its victim by a message, and
+    the victim will stop working on its queue to package work".
+``steal_service_time``
+    Seconds the victim spends packaging a steal response.
+``transfer_time_per_node``
+    Payload (bandwidth) cost per stolen node added to the response
+    latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.steal_policy import StealPolicy, policy_by_name
+from repro.core.victim import SelectorFactory, selector_by_name
+from repro.errors import ConfigurationError
+from repro.net.allocation import ProcessAllocation, allocation_by_name
+from repro.net.latency import KComputerLatency, LatencyModel
+from repro.net.topology import Topology
+from repro.uts.params import TreeParams
+from repro.uts.rng import RngBackend, backend_by_name
+
+__all__ = ["WorkStealingConfig"]
+
+
+@dataclass
+class WorkStealingConfig:
+    """Everything one distributed UTS run needs.
+
+    String shorthands are accepted for ``allocation``, ``selector``,
+    ``steal_policy`` and ``rng_backend``; they are resolved once at
+    construction time.
+    """
+
+    tree: TreeParams
+    nranks: int
+    allocation: ProcessAllocation | str = "1/N"
+    selector: SelectorFactory | str = "reference"
+    steal_policy: StealPolicy | str = "one"
+    latency_model: LatencyModel | None = None
+    topology_factory: Callable[[int], Topology] | None = None
+
+    chunk_size: int = 20
+    poll_interval: int = 10
+    node_time: float = 1e-6
+    compute_rounds: int = 1
+    steal_service_time: float = 1e-6
+    transfer_time_per_node: float = 5e-9
+    nic_service_time: float = 0.0
+    clock_skew_std: float = 0.0
+
+    rng_backend: RngBackend | str = "splitmix64"
+    seed: int = 0
+    trace: bool = False
+    node_cap: int = 50_000_000
+
+    #: Lifeline extension (see :mod:`repro.lifeline`): number of
+    #: lifeline partners per rank; 0 disables the scheme entirely.
+    lifelines: int = 0
+    #: Consecutive failed steals before a rank quiesces onto its
+    #: lifelines (only meaningful when ``lifelines > 0``).
+    lifeline_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ConfigurationError(f"nranks must be >= 1, got {self.nranks}")
+        if self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.poll_interval < 1:
+            raise ConfigurationError(
+                f"poll_interval must be >= 1, got {self.poll_interval}"
+            )
+        if self.node_time <= 0:
+            raise ConfigurationError(
+                f"node_time must be > 0, got {self.node_time}"
+            )
+        if self.compute_rounds < 1:
+            raise ConfigurationError(
+                f"compute_rounds must be >= 1, got {self.compute_rounds}"
+            )
+        for name in (
+            "steal_service_time",
+            "transfer_time_per_node",
+            "nic_service_time",
+            "clock_skew_std",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if self.node_cap < 1:
+            raise ConfigurationError(
+                f"node_cap must be >= 1, got {self.node_cap}"
+            )
+        if self.lifelines < 0:
+            raise ConfigurationError(
+                f"lifelines must be >= 0, got {self.lifelines}"
+            )
+        if self.lifeline_threshold < 1:
+            raise ConfigurationError(
+                f"lifeline_threshold must be >= 1, got {self.lifeline_threshold}"
+            )
+        # Resolve string shorthands once.
+        if isinstance(self.allocation, str):
+            self.allocation = allocation_by_name(self.allocation)
+        if isinstance(self.selector, str):
+            self.selector = selector_by_name(self.selector)
+        if isinstance(self.steal_policy, str):
+            self.steal_policy = policy_by_name(self.steal_policy)
+        if isinstance(self.rng_backend, str):
+            self.rng_backend = backend_by_name(self.rng_backend)
+        if self.latency_model is None:
+            self.latency_model = KComputerLatency()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def per_node_time(self) -> float:
+        """Compute seconds consumed per expanded tree node."""
+        return self.node_time * self.compute_rounds
+
+    def label(self) -> str:
+        """Short human-readable description, e.g. ``tofu/half 8G x128``."""
+        assert not isinstance(self.selector, str)
+        assert not isinstance(self.steal_policy, str)
+        assert not isinstance(self.allocation, str)
+        return (
+            f"{self.selector.name}/{self.steal_policy.name} "
+            f"{self.allocation.name} x{self.nranks} [{self.tree.name}]"
+        )
+
+    def replace(self, **overrides) -> "WorkStealingConfig":
+        """Derived config with some fields replaced (sweep helper)."""
+        from dataclasses import fields as dc_fields
+
+        kwargs = {f.name: getattr(self, f.name) for f in dc_fields(self)}
+        kwargs.update(overrides)
+        return WorkStealingConfig(**kwargs)

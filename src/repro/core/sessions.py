@@ -1,0 +1,91 @@
+"""Work-discovery session statistics.
+
+§IV-B of the paper: "A work discovery session starts when a process
+exhaust its work and ends with either work in the queue or application
+termination."  Figure 10 reports the *average duration* of these
+sessions; §V-A adds the *search time* ("the portion of the execution
+time a process was waiting for a steal answer") and failed-steal
+counts.
+
+Workers log one :class:`Session` per discovery episode; this module
+aggregates them across ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["Session", "SessionStats", "summarize_sessions"]
+
+
+@dataclass(frozen=True)
+class Session:
+    """One work-discovery episode of one rank."""
+
+    rank: int
+    start: float
+    end: float
+    found_work: bool  # False if the session ended with termination
+    attempts: int  # steal requests sent during the session
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TraceError(
+                f"session ends before it starts ({self.end} < {self.start})"
+            )
+        if self.attempts < 0:
+            raise TraceError(f"attempts must be >= 0, got {self.attempts}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Aggregate over all sessions of a run."""
+
+    count: int
+    successful: int
+    mean_duration: float
+    max_duration: float
+    total_search_time: float
+    mean_attempts: float
+    sessions_per_rank: float
+
+    @property
+    def terminated(self) -> int:
+        """Sessions that ended with application termination."""
+        return self.count - self.successful
+
+
+def summarize_sessions(sessions: list[Session], nranks: int) -> SessionStats:
+    """Aggregate session statistics (Fig 10 / Fig 14 inputs)."""
+    if nranks < 1:
+        raise TraceError(f"nranks must be >= 1, got {nranks}")
+    if not sessions:
+        return SessionStats(
+            count=0,
+            successful=0,
+            mean_duration=0.0,
+            max_duration=0.0,
+            total_search_time=0.0,
+            mean_attempts=0.0,
+            sessions_per_rank=0.0,
+        )
+    durations = np.array([s.duration for s in sessions])
+    attempts = np.array([s.attempts for s in sessions])
+    successful = sum(1 for s in sessions if s.found_work)
+    return SessionStats(
+        count=len(sessions),
+        successful=successful,
+        mean_duration=float(durations.mean()),
+        max_duration=float(durations.max()),
+        total_search_time=float(durations.sum()),
+        mean_attempts=float(attempts.mean()),
+        sessions_per_rank=len(sessions) / nranks,
+    )

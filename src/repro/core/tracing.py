@@ -1,0 +1,165 @@
+"""Lightweight activity traces of the work-stealing scheduler.
+
+§III of the paper: "Assuming there exists a trace of all processes
+indicating the time of each transition from one type of phase to the
+other ...".  A process is *active* while its stack holds work
+(including time spent answering steal requests) and *inactive* while
+it searches for work.
+
+:class:`TraceRecorder` is what a live worker writes into — an
+append-only list of ``(time, became_active)`` transitions, "as the
+trace only contains a time and the new state at each phase transition,
+it is lightweight".  :class:`ActivityTrace` is the post-mortem,
+validated, immutable view the metrics operate on, with the clock-skew
+adjustment the paper applies ("the trace modified to account for clock
+skew").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["TraceRecorder", "ActivityTrace"]
+
+
+class TraceRecorder:
+    """Append-only per-rank transition log.
+
+    The recorder enforces nothing while recording (the hot path must
+    stay cheap); :meth:`ActivityTrace.from_recorders` validates.
+    """
+
+    __slots__ = ("times", "states")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.states: list[bool] = []
+
+    def record(self, time: float, active: bool) -> None:
+        """Log that the rank became active/inactive at ``time``."""
+        self.times.append(time)
+        self.states.append(active)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class ActivityTrace:
+    """Validated activity trace of a whole run.
+
+    Attributes
+    ----------
+    nranks:
+        Number of ranks traced.
+    transitions:
+        Per-rank ``(times, states)`` arrays; times non-decreasing and
+        states strictly alternating (an active transition follows an
+        inactive one and vice versa).
+    """
+
+    def __init__(self, transitions: list[tuple[np.ndarray, np.ndarray]]):
+        if not transitions:
+            raise TraceError("trace must cover at least one rank")
+        self.transitions = []
+        for rank, (times, states) in enumerate(transitions):
+            times = np.asarray(times, dtype=np.float64)
+            states = np.asarray(states, dtype=bool)
+            if times.shape != states.shape:
+                raise TraceError(
+                    f"rank {rank}: times/states length mismatch "
+                    f"({len(times)} vs {len(states)})"
+                )
+            if times.size and np.any(np.diff(times) < 0):
+                raise TraceError(f"rank {rank}: times not sorted")
+            if states.size > 1 and np.any(states[1:] == states[:-1]):
+                raise TraceError(f"rank {rank}: states do not alternate")
+            self.transitions.append((times, states))
+        self.nranks = len(self.transitions)
+
+    @classmethod
+    def from_recorders(cls, recorders: list[TraceRecorder]) -> "ActivityTrace":
+        """Assemble and validate a trace from live recorders."""
+        return cls(
+            [
+                (np.array(r.times, dtype=np.float64), np.array(r.states, dtype=bool))
+                for r in recorders
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Clock skew
+    # ------------------------------------------------------------------
+
+    def with_skew(self, offsets: np.ndarray) -> "ActivityTrace":
+        """Return a copy with per-rank clock offsets *added*.
+
+        Models what raw traces from unsynchronised node clocks look
+        like; :meth:`corrected` undoes it given the measured offsets.
+        """
+        offsets = np.asarray(offsets, dtype=np.float64)
+        if offsets.shape != (self.nranks,):
+            raise TraceError(
+                f"offsets shape {offsets.shape} != ({self.nranks},)"
+            )
+        return ActivityTrace(
+            [
+                (times + offsets[rank], states.copy())
+                for rank, (times, states) in enumerate(self.transitions)
+            ]
+        )
+
+    def corrected(self, offsets: np.ndarray) -> "ActivityTrace":
+        """Undo per-rank clock offsets (the paper's skew adjustment)."""
+        return self.with_skew(-np.asarray(offsets, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def active_count_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """Merge all transitions into the step function ``workers(t)``.
+
+        Returns ``(times, counts)``: at any ``t`` in
+        ``[times[k], times[k+1])`` exactly ``counts[k]`` ranks are
+        active.  Ranks that never logged a transition count as never
+        active.
+        """
+        all_times: list[np.ndarray] = []
+        all_deltas: list[np.ndarray] = []
+        for times, states in self.transitions:
+            if not times.size:
+                continue
+            all_times.append(times)
+            all_deltas.append(np.where(states, 1, -1))
+        if not all_times:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        times = np.concatenate(all_times)
+        deltas = np.concatenate(all_deltas)
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        deltas = deltas[order]
+        counts = np.cumsum(deltas)
+        # Collapse simultaneous transitions into the final count.
+        keep = np.concatenate([times[1:] != times[:-1], [True]])
+        return times[keep], counts[keep]
+
+    def busy_time(self, rank: int, end_time: float) -> float:
+        """Total time ``rank`` spent active in ``[0, end_time]``."""
+        times, states = self.transitions[rank]
+        busy = 0.0
+        current_start: float | None = None
+        for t, active in zip(times, states):
+            if active:
+                current_start = min(float(t), end_time)
+            elif current_start is not None:
+                busy += min(float(t), end_time) - current_start
+                current_start = None
+        if current_start is not None:
+            busy += max(0.0, end_time - current_start)
+        return busy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_events = sum(len(t) for t, _ in self.transitions)
+        return f"ActivityTrace(nranks={self.nranks}, events={n_events})"

@@ -1,0 +1,18 @@
+"""Lifeline-based global load balancing (extension).
+
+An implementation of the scheme of Saraswat et al., *Lifeline-based
+global load balancing* (PPoPP 2011), which the paper's related-work
+section contrasts with its own victim selection: "After the number of
+steal attempts exceeds a threshold, idle worker wait for their
+lifelines to provide work, thus limiting the lock and network
+contention in the system."
+
+Provided as a comparator for the ablation benchmarks:
+:class:`~repro.lifeline.worker.LifelineWorker` extends the reference
+worker with the quiesce-and-wait protocol over a cyclic-hypercube
+lifeline graph.
+"""
+
+from repro.lifeline.worker import LifelineWorker, lifeline_partners
+
+__all__ = ["LifelineWorker", "lifeline_partners"]

@@ -1,0 +1,170 @@
+"""Worker with lifeline-based work distribution (Saraswat et al.).
+
+Protocol on top of the reference steal loop:
+
+1. An idle rank steals randomly (through whatever victim selector is
+   configured) like the reference implementation.
+2. After ``threshold`` consecutive *failed* steals, instead of spinning
+   further it **quiesces**: it arms its *lifelines* — a fixed set of
+   partner ranks forming a cyclic hypercube over the job — with a
+   :class:`~repro.sim.messages.LifelineRegister` message, and stops
+   sending steal requests.
+3. A partner that has stealable work at a poll boundary *pushes* a
+   chunk allotment to each armed lifeline, waking it.
+4. A woken rank disarms its remaining lifelines
+   (:class:`~repro.sim.messages.LifelineDeregister`) and resumes
+   normal operation.
+
+Quiescent ranks are idle for the termination ring, so the token
+algorithm is unchanged; lifeline pushes are work messages and blacken
+the sender like steal responses do.
+"""
+
+from __future__ import annotations
+
+from repro.sim.messages import (
+    LifelineDeregister,
+    LifelineRegister,
+    StealResponse,
+)
+from repro.sim.worker import Worker, WorkerStatus
+
+__all__ = ["lifeline_partners", "LifelineWorker"]
+
+
+def lifeline_partners(rank: int, nranks: int, count: int) -> list[int]:
+    """Cyclic-hypercube lifeline graph: partners at power-of-two offsets.
+
+    Rank ``r`` links to ``(r + 2^i) mod N`` for ``i = 0, 1, ...`` —
+    the outgoing edges of a cyclic hypercube, at most ``count`` of
+    them.  Every rank is reachable from every other in ``O(log N)``
+    lifeline hops, the property the original paper relies on for
+    work to percolate to starving corners.
+    """
+    partners: list[int] = []
+    offset = 1
+    while len(partners) < count and offset < nranks:
+        partner = (rank + offset) % nranks
+        if partner != rank and partner not in partners:
+            partners.append(partner)
+        offset <<= 1
+    return partners
+
+
+class LifelineWorker(Worker):
+    """Reference worker + quiesce-and-wait lifelines."""
+
+    def __init__(
+        self,
+        *args,
+        lifeline_count: int = 2,
+        lifeline_threshold: int = 8,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.lifeline_threshold = lifeline_threshold
+        self.partners = lifeline_partners(self.rank, self.nranks, lifeline_count)
+        self._consecutive_failures = 0
+        self._quiescent = False
+        self._armed = False
+        #: Ranks whose lifeline to us is currently armed.
+        self.waiters: list[int] = []
+        # Extension statistics.
+        self.lifeline_pushes = 0
+        self.lifeline_wakeups = 0
+        self.quiesce_episodes = 0
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, now: float, msg: object) -> None:
+        if self.status is WorkerStatus.DONE:
+            return
+        if isinstance(msg, LifelineRegister):
+            if msg.thief not in self.waiters:
+                self.waiters.append(msg.thief)
+            return
+        if isinstance(msg, LifelineDeregister):
+            if msg.thief in self.waiters:
+                self.waiters.remove(msg.thief)
+            return
+        if (
+            isinstance(msg, StealResponse)
+            and msg.has_work
+            and self.status is WorkerStatus.RUNNING
+        ):
+            # A lifeline push raced our own recovery: merge the work.
+            self.stack.receive_chunks(msg.chunks)
+            self.chunks_received += len(msg.chunks)
+            self.nodes_received += msg.nodes
+            return
+        super().on_message(now, msg)
+
+    # ------------------------------------------------------------------
+    # Quiescence
+    # ------------------------------------------------------------------
+
+    def _on_response(self, now: float, msg: StealResponse) -> None:
+        if msg.has_work:
+            self._consecutive_failures = 0
+            if self._armed:
+                self._disarm(now)
+                self.lifeline_wakeups += 1
+            super()._on_response(now, msg)
+            return
+        self.failed_steals += 1
+        if self.selector is not None:
+            self.selector.notify(msg.victim, success=False)
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.lifeline_threshold:
+            if not self._quiescent:
+                self._quiesce(now)
+            # Quiescent: no further requests; wait for a push or Finish.
+        else:
+            self._send_steal_request(now)
+
+    def _quiesce(self, now: float) -> None:
+        self._quiescent = True
+        self._armed = True
+        self.quiesce_episodes += 1
+        for partner in self.partners:
+            self.transport.send(
+                self.rank, partner, LifelineRegister(self.rank), now
+            )
+
+    def _disarm(self, now: float) -> None:
+        self._armed = False
+        self._quiescent = False
+        self._consecutive_failures = 0
+        for partner in self.partners:
+            self.transport.send(
+                self.rank, partner, LifelineDeregister(self.rank), now
+            )
+
+    def _go_idle(self, t: float) -> None:
+        self._consecutive_failures = 0
+        super()._go_idle(t)
+
+    # ------------------------------------------------------------------
+    # Pushing work to armed lifelines
+    # ------------------------------------------------------------------
+
+    def _serve_pending(self, now: float) -> float:
+        t = super()._serve_pending(now)
+        while self.waiters and self.stack.stealable_chunks > 0:
+            thief = self.waiters.pop(0)
+            take = self.policy.chunks_to_steal(self.stack.stealable_chunks)
+            if take == 0:
+                break
+            t += self.steal_service_time
+            self.service_time += self.steal_service_time
+            chunks = self.stack.steal_chunks(take)
+            self.chunks_sent += len(chunks)
+            self.nodes_sent += sum(c.size for c in chunks)
+            self.lifeline_pushes += 1
+            self.transport.work_sent(self.rank)
+            self.transport.send(
+                self.rank, thief, StealResponse(self.rank, chunks), t
+            )
+        return t

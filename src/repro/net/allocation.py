@@ -1,0 +1,323 @@
+"""Process allocation: mapping MPI ranks onto compute nodes.
+
+The paper compares three allocations (§II-B):
+
+* ``1/N`` — one MPI process per compute node
+  (:class:`OnePerNode`);
+* ``8RR`` — 8 processes per node with *round-robin* numbering, so
+  consecutive ranks land on different nodes
+  (:class:`RoundRobinPacked` with ``per_node=8``);
+* ``8G`` — 8 processes per node with *grouped* numbering, so ranks
+  ``8k..8k+7`` share a node (:class:`GroupedPacked` with
+  ``per_node=8``).
+
+The interaction between numbering and the reference round-robin victim
+selector is the paper's first finding: under 8RR, "the deterministic
+round robin victim selection is in direct conflict with the MPI
+process allocation".
+
+:func:`build_placement` combines an allocation with a topology and a
+latency model into a :class:`Placement`: the per-rank coordinates,
+pairwise distances and pairwise latencies every other subsystem needs.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.net.latency import KComputerLatency, LatencyModel
+from repro.net.topology import TofuTopology, Topology
+
+__all__ = [
+    "ProcessAllocation",
+    "OnePerNode",
+    "RoundRobinPacked",
+    "GroupedPacked",
+    "RandomAllocation",
+    "DilatedAllocation",
+    "Placement",
+    "build_placement",
+    "allocation_by_name",
+]
+
+
+class ProcessAllocation(ABC):
+    """Interface: decide how many nodes a job needs and place ranks."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def nodes_needed(self, nranks: int) -> int:
+        """Number of compute nodes required for ``nranks`` processes."""
+
+    @abstractmethod
+    def rank_nodes(self, nranks: int) -> np.ndarray:
+        """``rank_nodes[r]`` = index (0-based, within the job's node
+        set) of the node hosting rank ``r``."""
+
+    def _check(self, nranks: int) -> None:
+        if nranks < 1:
+            raise AllocationError(f"need at least 1 rank, got {nranks}")
+
+
+class OnePerNode(ProcessAllocation):
+    """The paper's ``1/N``: one process per compute node."""
+
+    name = "1/N"
+
+    def nodes_needed(self, nranks: int) -> int:
+        self._check(nranks)
+        return nranks
+
+    def rank_nodes(self, nranks: int) -> np.ndarray:
+        self._check(nranks)
+        return np.arange(nranks, dtype=np.int64)
+
+
+class RoundRobinPacked(ProcessAllocation):
+    """``kRR``: k processes per node, round-robin rank numbering.
+
+    Ranks ``i, i + M, i + 2M, ...`` (``M`` = number of nodes) share a
+    node, so *consecutive* ranks are on *different* nodes.
+    """
+
+    def __init__(self, per_node: int = 8):
+        if per_node < 1:
+            raise AllocationError(f"per_node must be >= 1, got {per_node}")
+        self.per_node = int(per_node)
+        self.name = f"{per_node}RR"
+
+    def nodes_needed(self, nranks: int) -> int:
+        self._check(nranks)
+        return math.ceil(nranks / self.per_node)
+
+    def rank_nodes(self, nranks: int) -> np.ndarray:
+        self._check(nranks)
+        nodes = self.nodes_needed(nranks)
+        return np.arange(nranks, dtype=np.int64) % nodes
+
+
+class GroupedPacked(ProcessAllocation):
+    """``kG``: k processes per node, grouped rank numbering.
+
+    Ranks ``k*j .. k*j + k - 1`` share node ``j``, so consecutive
+    ranks are (mostly) on the *same* node.
+    """
+
+    def __init__(self, per_node: int = 8):
+        if per_node < 1:
+            raise AllocationError(f"per_node must be >= 1, got {per_node}")
+        self.per_node = int(per_node)
+        self.name = f"{per_node}G"
+
+    def nodes_needed(self, nranks: int) -> int:
+        self._check(nranks)
+        return math.ceil(nranks / self.per_node)
+
+    def rank_nodes(self, nranks: int) -> np.ndarray:
+        self._check(nranks)
+        return np.arange(nranks, dtype=np.int64) // self.per_node
+
+
+class RandomAllocation(ProcessAllocation):
+    """k processes per node, randomly permuted rank numbering.
+
+    A worst-case-agnostic control: no systematic relation between rank
+    distance and physical distance.
+    """
+
+    def __init__(self, per_node: int = 1, seed: int = 0):
+        if per_node < 1:
+            raise AllocationError(f"per_node must be >= 1, got {per_node}")
+        self.per_node = int(per_node)
+        self.seed = int(seed)
+        self.name = f"{per_node}RAND"
+
+    def nodes_needed(self, nranks: int) -> int:
+        self._check(nranks)
+        return math.ceil(nranks / self.per_node)
+
+    def rank_nodes(self, nranks: int) -> np.ndarray:
+        self._check(nranks)
+        grouped = np.arange(nranks, dtype=np.int64) // self.per_node
+        rng = np.random.default_rng(self.seed)
+        return grouped[rng.permutation(nranks)]
+
+
+class DilatedAllocation(ProcessAllocation):
+    """Spread a base allocation over a ``dilation``-times larger machine.
+
+    The reproduction simulates far fewer ranks than the paper's 8192
+    nodes.  To keep *physical distances* at paper scale, a dilated
+    allocation books ``dilation`` times as many nodes as the base
+    allocation needs and hosts the job on every ``dilation``-th node —
+    the inter-rank hop/latency spread of the full-size machine with a
+    scaled-down process count.  ``DilatedAllocation(OnePerNode(), 16)``
+    with 512 ranks books the 8192-node box of the paper's largest jobs.
+    """
+
+    def __init__(self, base: ProcessAllocation, dilation: int):
+        if dilation < 1:
+            raise AllocationError(f"dilation must be >= 1, got {dilation}")
+        self.base = base
+        self.dilation = int(dilation)
+        self.name = f"{base.name}@x{dilation}"
+
+    def nodes_needed(self, nranks: int) -> int:
+        return self.base.nodes_needed(nranks) * self.dilation
+
+    def rank_nodes(self, nranks: int) -> np.ndarray:
+        return self.base.rank_nodes(nranks) * self.dilation
+
+
+_ALLOCATIONS: dict[str, Callable[[], ProcessAllocation]] = {
+    "1/N": OnePerNode,
+    "8RR": lambda: RoundRobinPacked(8),
+    "8G": lambda: GroupedPacked(8),
+    "4RR": lambda: RoundRobinPacked(4),
+    "4G": lambda: GroupedPacked(4),
+}
+
+
+def allocation_by_name(name: str) -> ProcessAllocation:
+    """Instantiate a named allocation.
+
+    Accepts the paper's names (``"1/N"``, ``"8RR"``, ``"8G"``, ...)
+    plus a ``"<base>@x<dilation>"`` suffix for dilated placements,
+    e.g. ``"1/N@x16"``.
+    """
+    base_name, _, dilation_part = name.partition("@x")
+    try:
+        factory = _ALLOCATIONS[base_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown allocation {name!r}; known: {sorted(_ALLOCATIONS)} "
+            "optionally suffixed with '@x<dilation>'"
+        ) from None
+    allocation = factory()
+    if dilation_part:
+        try:
+            dilation = int(dilation_part)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad dilation in allocation name {name!r}"
+            ) from None
+        allocation = DilatedAllocation(allocation, dilation)
+    return allocation
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A fully-resolved job placement.
+
+    Attributes
+    ----------
+    nranks:
+        Number of MPI processes.
+    rank_nodes:
+        ``rank_nodes[r]`` = topology node id hosting rank ``r``.
+    topology:
+        The node topology the job runs on.
+    latency:
+        ``latency[i, j]`` one-way message latency (seconds) between
+        ranks ``i`` and ``j``.
+    euclidean:
+        Pairwise Euclidean distances between rank positions — the
+        quantity the paper's skewed victim selection weights by.
+    hops:
+        Pairwise network hop counts.
+    allocation_name, latency_name:
+        Provenance, for reports.
+    """
+
+    nranks: int
+    rank_nodes: np.ndarray
+    topology: Topology
+    latency: np.ndarray
+    euclidean: np.ndarray
+    hops: np.ndarray
+    allocation_name: str = "?"
+    latency_name: str = "?"
+
+    def __post_init__(self) -> None:
+        n = self.nranks
+        for mat, label in (
+            (self.latency, "latency"),
+            (self.euclidean, "euclidean"),
+            (self.hops, "hops"),
+        ):
+            if mat.shape != (n, n):
+                raise ConfigurationError(
+                    f"{label} matrix shape {mat.shape} != ({n}, {n})"
+                )
+        if len(self.rank_nodes) != n:
+            raise ConfigurationError(
+                f"rank_nodes length {len(self.rank_nodes)} != nranks {n}"
+            )
+
+    @property
+    def num_nodes_used(self) -> int:
+        return int(len(np.unique(self.rank_nodes)))
+
+    def ranks_on_node(self, node: int) -> np.ndarray:
+        return np.nonzero(self.rank_nodes == node)[0]
+
+
+def build_placement(
+    nranks: int,
+    allocation: ProcessAllocation | str = "1/N",
+    latency_model: LatencyModel | None = None,
+    topology_factory: Callable[[int], Topology] | None = None,
+) -> Placement:
+    """Allocate ``nranks`` processes and precompute all pairwise data.
+
+    Parameters
+    ----------
+    nranks:
+        Number of MPI processes in the job.
+    allocation:
+        A :class:`ProcessAllocation` or one of the paper's names
+        (``"1/N"``, ``"8RR"``, ``"8G"``).
+    latency_model:
+        Defaults to :class:`~repro.net.latency.KComputerLatency`.
+    topology_factory:
+        ``f(n_nodes) -> Topology``; defaults to
+        :meth:`TofuTopology.for_nodes` (compact-box placement, like the
+        K Computer's scheduler).
+    """
+    if isinstance(allocation, str):
+        allocation = allocation_by_name(allocation)
+    if latency_model is None:
+        latency_model = KComputerLatency()
+    if topology_factory is None:
+        topology_factory = TofuTopology.for_nodes
+
+    n_nodes = allocation.nodes_needed(nranks)
+    topology = topology_factory(n_nodes)
+    if topology.num_nodes < n_nodes:
+        raise AllocationError(
+            f"topology has {topology.num_nodes} nodes, job needs {n_nodes}"
+        )
+    rank_nodes = allocation.rank_nodes(nranks)
+    if rank_nodes.max() >= topology.num_nodes:
+        raise AllocationError("allocation placed a rank outside the topology")
+
+    latency = latency_model.matrix(topology, rank_nodes)
+    euclidean = topology.euclidean_matrix(rank_nodes)
+    hops = topology.hops_matrix(rank_nodes)
+    return Placement(
+        nranks=nranks,
+        rank_nodes=rank_nodes,
+        topology=topology,
+        latency=latency,
+        euclidean=euclidean,
+        hops=hops,
+        allocation_name=allocation.name,
+        latency_name=latency_model.name,
+    )

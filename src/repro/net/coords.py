@@ -1,0 +1,114 @@
+"""Mixed-radix coordinate spaces with optional per-dimension wrap-around.
+
+A :class:`CoordSpace` describes a grid of ``prod(dims)`` points.  Node
+ids are linearised row-major (first dimension slowest).  Each dimension
+is either a *torus* dimension (distances wrap around) or a *mesh*
+dimension (they do not) — the Tofu interconnect mixes both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+__all__ = ["CoordSpace"]
+
+
+class CoordSpace:
+    """A mixed-radix, optionally-wrapping coordinate space.
+
+    Parameters
+    ----------
+    dims:
+        Extent of each dimension (all >= 1).
+    wraps:
+        For each dimension, whether distance wraps around (torus).
+        Defaults to no wrapping anywhere.
+    """
+
+    def __init__(self, dims: tuple[int, ...], wraps: tuple[bool, ...] | None = None):
+        if not dims:
+            raise TopologyError("dims must be non-empty")
+        if any(d < 1 for d in dims):
+            raise TopologyError(f"all dims must be >= 1, got {dims}")
+        if wraps is None:
+            wraps = tuple(False for _ in dims)
+        if len(wraps) != len(dims):
+            raise TopologyError(
+                f"wraps length {len(wraps)} != dims length {len(dims)}"
+            )
+        self.dims = tuple(int(d) for d in dims)
+        self.wraps = tuple(bool(w) for w in wraps)
+        self.ndim = len(dims)
+        self.size = int(np.prod(self.dims))
+        # Row-major strides for id <-> coordinate conversion.
+        strides = [1] * self.ndim
+        for k in range(self.ndim - 2, -1, -1):
+            strides[k] = strides[k + 1] * self.dims[k + 1]
+        self._strides = np.array(strides, dtype=np.int64)
+        self._dims_arr = np.array(self.dims, dtype=np.int64)
+        self._wrap_arr = np.array(self.wraps, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # id <-> coords
+    # ------------------------------------------------------------------
+
+    def coords_of(self, node: int) -> np.ndarray:
+        """Coordinate vector of a node id."""
+        if not 0 <= node < self.size:
+            raise TopologyError(f"node {node} out of range [0, {self.size})")
+        return (node // self._strides) % self._dims_arr
+
+    def coords_of_many(self, nodes: np.ndarray) -> np.ndarray:
+        """Coordinates of an array of node ids, shape ``(len(nodes), ndim)``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.size):
+            raise TopologyError("node id out of range")
+        return (nodes[:, None] // self._strides[None, :]) % self._dims_arr[None, :]
+
+    def id_of(self, coords: np.ndarray) -> int:
+        """Node id of a coordinate vector."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.shape != (self.ndim,):
+            raise TopologyError(
+                f"coords shape {coords.shape} != ({self.ndim},)"
+            )
+        if np.any(coords < 0) or np.any(coords >= self._dims_arr):
+            raise TopologyError(f"coords {coords.tolist()} out of range {self.dims}")
+        return int((coords * self._strides).sum())
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+
+    def delta(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-dimension separation, respecting wrap-around (min-image)."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        raw = np.abs(a - b)
+        wrapped = np.minimum(raw, self._dims_arr - raw)
+        return np.where(self._wrap_arr, wrapped, raw)
+
+    def manhattan(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Hop count between two coordinate vectors (Manhattan, min-image)."""
+        return int(self.delta(a, b).sum())
+
+    def euclidean(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Euclidean distance between two coordinate vectors (min-image)."""
+        d = self.delta(a, b).astype(np.float64)
+        return float(np.sqrt((d * d).sum()))
+
+    def delta_matrix(self, coords: np.ndarray) -> np.ndarray:
+        """Pairwise per-dimension separations for ``(n, ndim)`` coords.
+
+        Returns an ``(n, n, ndim)`` int array; memory is ``n^2 * ndim``
+        which for the simulated scales (n <= a few thousand) is fine.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        raw = np.abs(coords[:, None, :] - coords[None, :, :])
+        wrapped = np.minimum(raw, self._dims_arr[None, None, :] - raw)
+        return np.where(self._wrap_arr[None, None, :], wrapped, raw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoordSpace(dims={self.dims}, wraps={self.wraps})"

@@ -1,0 +1,181 @@
+"""Latency models: topological distance -> communication time.
+
+A :class:`LatencyModel` produces the one-way latency matrix between
+*ranks* given their node placement.  The paper's mechanism lives here:
+on the K Computer "communication between two MPI processes on the same
+CPU, or on the same blade will potentially be faster than across racks
+(more network hops are necessary)", and "a communication between two
+processes can go through more than 10 hops".
+
+Latency anchors (defaults of :class:`KComputerLatency`) are calibrated
+to published Tofu numbers: ~1 us one-way MPI latency between adjacent
+nodes, ~100 ns additional per hop, sub-microsecond shared-memory
+transport within a node, and the intermediate blade/cube transports in
+between.  The *shape* of the experiments depends on the ratio between
+near and far latencies, not on the absolute values.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.topology import TofuTopology, Topology
+
+__all__ = [
+    "LatencyModel",
+    "UniformLatency",
+    "HopLatency",
+    "HierarchicalLatency",
+    "KComputerLatency",
+]
+
+
+class LatencyModel(ABC):
+    """Interface: build a rank-pair latency matrix for a placement."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def matrix(self, topology: Topology, rank_nodes: np.ndarray) -> np.ndarray:
+        """One-way latency in seconds for every rank pair.
+
+        Parameters
+        ----------
+        topology:
+            The node topology.
+        rank_nodes:
+            ``rank_nodes[r]`` is the compute node hosting rank ``r``.
+
+        Returns
+        -------
+        ``(nranks, nranks)`` float array, symmetric, zero diagonal.
+        """
+
+    @staticmethod
+    def _validate(latency: np.ndarray) -> np.ndarray:
+        if np.any(latency < 0):
+            raise ConfigurationError("negative latency produced")
+        np.fill_diagonal(latency, 0.0)
+        return latency
+
+
+class UniformLatency(LatencyModel):
+    """Every distinct rank pair has the same latency (null model).
+
+    Under this model all victims cost the same, so victim selection
+    can only matter through failed-steal counts — the configuration
+    most prior work implicitly assumed.
+    """
+
+    name = "uniform"
+
+    def __init__(self, latency: float = 5e-6):
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        self.latency = float(latency)
+
+    def matrix(self, topology: Topology, rank_nodes: np.ndarray) -> np.ndarray:
+        n = len(rank_nodes)
+        out = np.full((n, n), self.latency, dtype=np.float64)
+        return self._validate(out)
+
+
+class HopLatency(LatencyModel):
+    """``base + per_hop * hops`` with a shared-memory intra-node fast path."""
+
+    name = "hop"
+
+    def __init__(
+        self,
+        base: float = 1e-6,
+        per_hop: float = 1e-7,
+        intra_node: float = 4e-7,
+    ):
+        if min(base, per_hop, intra_node) < 0:
+            raise ConfigurationError("latency components must be >= 0")
+        self.base = float(base)
+        self.per_hop = float(per_hop)
+        self.intra_node = float(intra_node)
+
+    def matrix(self, topology: Topology, rank_nodes: np.ndarray) -> np.ndarray:
+        rank_nodes = np.asarray(rank_nodes, dtype=np.int64)
+        hops = topology.hops_matrix(rank_nodes).astype(np.float64)
+        out = self.base + self.per_hop * hops
+        same_node = rank_nodes[:, None] == rank_nodes[None, :]
+        out[same_node] = self.intra_node
+        return self._validate(out)
+
+
+class HierarchicalLatency(LatencyModel):
+    """Distinct transports per hierarchy level of a Tofu topology.
+
+    Levels (first match wins): same compute node -> ``intra_node``;
+    same blade -> ``blade``; same cube -> ``cube``; otherwise
+    ``base + per_hop * hops`` across the cube torus.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        intra_node: float = 4e-7,
+        blade: float = 8e-7,
+        cube: float = 1.2e-6,
+        base: float = 1.5e-6,
+        per_hop: float = 2e-7,
+    ):
+        if min(intra_node, blade, cube, base, per_hop) < 0:
+            raise ConfigurationError("latency components must be >= 0")
+        if not intra_node <= blade <= cube:
+            raise ConfigurationError(
+                "expected intra_node <= blade <= cube latency ordering"
+            )
+        self.intra_node = float(intra_node)
+        self.blade = float(blade)
+        self.cube = float(cube)
+        self.base = float(base)
+        self.per_hop = float(per_hop)
+
+    def matrix(self, topology: Topology, rank_nodes: np.ndarray) -> np.ndarray:
+        if not isinstance(topology, TofuTopology):
+            raise ConfigurationError(
+                "HierarchicalLatency requires a TofuTopology "
+                f"(got {type(topology).__name__}); use HopLatency instead"
+            )
+        rank_nodes = np.asarray(rank_nodes, dtype=np.int64)
+        coords = topology.space.coords_of_many(rank_nodes)
+        cube_xyz = coords[:, :3]
+        blade_id = coords[:, [0, 1, 2, 4]]  # (x, y, z, b)
+
+        # Torus hop distance across the cube grid only (the long-haul
+        # component); in-cube hops are folded into the level constants.
+        dims = np.array(topology.cube_grid, dtype=np.int64)
+        raw = np.abs(cube_xyz[:, None, :] - cube_xyz[None, :, :])
+        hops = np.minimum(raw, dims[None, None, :] - raw).sum(axis=2)
+
+        out = self.base + self.per_hop * hops.astype(np.float64)
+        same_cube = (cube_xyz[:, None, :] == cube_xyz[None, :, :]).all(axis=2)
+        same_blade = (blade_id[:, None, :] == blade_id[None, :, :]).all(axis=2)
+        same_node = rank_nodes[:, None] == rank_nodes[None, :]
+        out[same_cube] = self.cube
+        out[same_blade] = self.blade
+        out[same_node] = self.intra_node
+        return self._validate(out)
+
+
+class KComputerLatency(HierarchicalLatency):
+    """Default calibration standing in for the K Computer (see module docs)."""
+
+    name = "kcomputer"
+
+    def __init__(self) -> None:
+        super().__init__(
+            intra_node=4e-7,
+            blade=8e-7,
+            cube=1.2e-6,
+            base=1.5e-6,
+            per_hop=2e-7,
+        )

@@ -1,0 +1,46 @@
+"""Discrete-event simulation of a message-passing cluster.
+
+This subpackage replaces the K Computer: simulated MPI ranks run the
+reference UTS work-stealing algorithm, exchanging messages whose
+delivery times come from the :mod:`repro.net` latency models.
+
+Modules
+-------
+``engine``
+    The event queue and simulation loop primitives.
+``messages``
+    Message types of the steal protocol and termination ring.
+``worker``
+    The per-rank state machine: quantum execution, polling, steal
+    protocol, activity tracing.
+``termination``
+    Dijkstra-style token-ring distributed termination detection.
+``clock``
+    Per-rank clock skew injection (and its correction).
+``cluster``
+    Assembles placement + workers + engine and runs a job.
+"""
+
+from repro.sim.engine import EventQueue, EVT_EXEC, EVT_MSG
+from repro.sim.messages import StealRequest, StealResponse, Token, Finish
+from repro.sim.termination import DijkstraTermination, TokenAction
+from repro.sim.clock import ClockSkewModel
+from repro.sim.worker import Worker, WorkerStatus
+from repro.sim.cluster import Cluster, SimOutcome
+
+__all__ = [
+    "EventQueue",
+    "EVT_EXEC",
+    "EVT_MSG",
+    "StealRequest",
+    "StealResponse",
+    "Token",
+    "Finish",
+    "DijkstraTermination",
+    "TokenAction",
+    "ClockSkewModel",
+    "Worker",
+    "WorkerStatus",
+    "Cluster",
+    "SimOutcome",
+]

@@ -1,0 +1,250 @@
+"""Cluster assembly and the simulation main loop.
+
+:class:`Cluster` wires a :class:`~repro.core.config.WorkStealingConfig`
+into a runnable job: a placement (topology + allocation + latency
+matrix), one :class:`~repro.sim.worker.Worker` per rank, the
+termination ring and the event queue — then runs it to completion.
+
+The cluster is also the workers' transport: it timestamps sends,
+applies NIC contention and wire latency, and routes token/finish
+traffic to the termination detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.core.config import WorkStealingConfig
+from repro.core.tracing import TraceRecorder
+from repro.errors import SimulationError, TerminationError
+from repro.net.allocation import Placement, build_placement
+from repro.net.contention import NicContention
+from repro.sim.clock import ClockSkewModel
+from repro.sim.engine import EVT_EXEC, EVT_MSG, EventQueue
+from repro.sim.messages import Finish, StealResponse, Token
+from repro.sim.termination import DijkstraTermination, TokenAction
+from repro.sim.worker import Worker, WorkerStatus
+from repro.uts.tree import TreeGenerator
+
+__all__ = ["Cluster", "SimOutcome"]
+
+
+@dataclass
+class SimOutcome:
+    """Raw output of one simulation (refined by ``repro.ws.results``)."""
+
+    config: WorkStealingConfig
+    placement: Placement
+    workers: list[Worker]
+    recorders: list[TraceRecorder] | None
+    clock: ClockSkewModel
+    total_time: float
+    events_processed: int
+    messages_dropped: int
+    probes_started: int
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(w.nodes_processed for w in self.workers)
+
+
+class Cluster:
+    """A simulated job: config -> placement -> workers -> run."""
+
+    def __init__(self, config: WorkStealingConfig, max_events: int | None = None):
+        self.config = config
+        assert not isinstance(config.allocation, str)
+        self.placement = build_placement(
+            config.nranks,
+            config.allocation,
+            latency_model=config.latency_model,
+            topology_factory=config.topology_factory,
+        )
+        self._latency = self.placement.latency
+        self.engine = (
+            EventQueue(max_events) if max_events is not None else EventQueue()
+        )
+        self.termination = DijkstraTermination(config.nranks)
+        self.clock = ClockSkewModel(
+            config.nranks, std=config.clock_skew_std, seed=config.seed
+        )
+        self.nic = NicContention(
+            self.placement.rank_nodes, service_time=config.nic_service_time
+        )
+        self.recorders = (
+            [TraceRecorder() for _ in range(config.nranks)]
+            if config.trace
+            else None
+        )
+
+        assert not isinstance(config.rng_backend, str)
+        generator = TreeGenerator(config.tree, config.rng_backend)
+        assert not isinstance(config.selector, str)
+        assert not isinstance(config.steal_policy, str)
+        self.workers = []
+        for rank in range(config.nranks):
+            selector = (
+                config.selector.make(
+                    rank, config.nranks, self.placement, seed=config.seed
+                )
+                if config.nranks > 1
+                else None
+            )
+            worker_kwargs = dict(
+                rank=rank,
+                nranks=config.nranks,
+                generator=generator,
+                selector=selector,
+                policy=config.steal_policy,
+                transport=self,
+                chunk_size=config.chunk_size,
+                poll_interval=config.poll_interval,
+                per_node_time=config.per_node_time,
+                steal_service_time=config.steal_service_time,
+                trace=self.recorders[rank] if self.recorders else None,
+            )
+            if config.lifelines > 0:
+                # Deferred import: repro.lifeline depends on sim.worker.
+                from repro.lifeline.worker import LifelineWorker
+
+                self.workers.append(
+                    LifelineWorker(
+                        lifeline_count=config.lifelines,
+                        lifeline_threshold=config.lifeline_threshold,
+                        **worker_kwargs,
+                    )
+                )
+            else:
+                self.workers.append(Worker(**worker_kwargs))
+
+        self._finishing = False
+        self._messages_dropped = 0
+        self._node_budget = config.node_cap
+        self._nic_enabled = self.nic.enabled
+
+    # ------------------------------------------------------------------
+    # Transport interface (used by workers)
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: object, when: float) -> None:
+        """Ship ``payload`` from ``src`` to ``dst``, entering the NIC at
+        ``when``; delivery adds wire latency and payload transfer time."""
+        if self._finishing:
+            # The run is over; in-flight control traffic is dropped,
+            # like an MPI job tearing down.
+            self._messages_dropped += 1
+            return
+        wire = self._latency[src, dst]
+        if isinstance(payload, StealResponse) and payload.has_work:
+            wire += payload.nodes * self.config.transfer_time_per_node
+        if self._nic_enabled:
+            depart = self.nic.inject(src, when)
+            arrival = self.nic.deliver(dst, depart + wire)
+        else:
+            arrival = when + wire
+        self.engine.push(arrival, EVT_MSG, dst, payload)
+
+    def schedule_exec(self, rank: int, when: float) -> None:
+        self.engine.push(when, EVT_EXEC, rank, None)
+
+    def rank_became_idle(self, rank: int, when: float) -> None:
+        self._dispatch_token_action(rank, self.termination.rank_idle(rank), when)
+
+    def work_sent(self, rank: int) -> None:
+        self.termination.work_sent(rank)
+
+    def local_time(self, rank: int, true_time: float) -> float:
+        return self.clock.local_time(rank, true_time)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimOutcome:
+        """Run the job to termination and return the raw outcome."""
+        for worker in self.workers:
+            worker.start(0.0)
+
+        node_check_mask = 0x3FF  # check the node budget every 1024 events
+        while not self.engine.empty:
+            time, kind, rank, payload = self.engine.pop()
+            if kind == EVT_EXEC:
+                self.workers[rank].on_exec(time)
+            elif isinstance(payload, Token):
+                worker = self.workers[rank]
+                action = self.termination.token_arrived(
+                    rank, payload.color, worker.status is WorkerStatus.WAITING
+                )
+                self._dispatch_token_action(rank, action, time)
+            else:
+                self.workers[rank].on_message(time, payload)
+            if (self.engine.processed & node_check_mask) == 0:
+                total = sum(w.nodes_processed for w in self.workers)
+                if total > self._node_budget:
+                    raise SimulationError(
+                        f"run exceeded node cap {self._node_budget}"
+                    )
+
+        if sum(w.nodes_processed for w in self.workers) > self._node_budget:
+            raise SimulationError(
+                f"run exceeded node cap {self._node_budget}"
+            )
+        if not self.termination.terminated:
+            raise TerminationError(
+                "event queue drained before termination was detected"
+            )
+        for worker in self.workers:
+            if worker.status is not WorkerStatus.DONE:
+                raise TerminationError(
+                    f"rank {worker.rank} never received Finish"
+                )
+            if not worker.stack.is_empty:
+                raise TerminationError(
+                    f"rank {worker.rank} terminated holding "
+                    f"{worker.stack.size} nodes"
+                )
+        sent = sum(w.nodes_sent for w in self.workers)
+        received = sum(w.nodes_received for w in self.workers)
+        if sent != received:
+            raise TerminationError(
+                f"work lost in flight: {sent} nodes sent but "
+                f"{received} received"
+            )
+
+        total_time = max(w.finish_time for w in self.workers if w.finish_time is not None)
+        return SimOutcome(
+            config=self.config,
+            placement=self.placement,
+            workers=self.workers,
+            recorders=self.recorders,
+            clock=self.clock,
+            total_time=total_time,
+            events_processed=self.engine.processed,
+            messages_dropped=self._messages_dropped,
+            probes_started=self.termination.probes_started,
+        )
+
+    # ------------------------------------------------------------------
+    # Termination plumbing
+    # ------------------------------------------------------------------
+
+    def _dispatch_token_action(
+        self, src: int, action: TokenAction, when: float
+    ) -> None:
+        if action.terminated:
+            self._broadcast_finish(when)
+        elif action.sends:
+            assert action.send_color is not None and action.send_to is not None
+            self.send(src, action.send_to, Token(action.send_color), when)
+
+    def _broadcast_finish(self, when: float) -> None:
+        """Rank 0 proved termination: tell everyone, drop the rest."""
+        dropped = self.engine.clear()
+        self._messages_dropped += dropped
+        self._finishing = True
+        self.workers[0].on_message(when, Finish())
+        for rank in range(1, self.config.nranks):
+            self.engine.push(
+                when + self._latency[0, rank], EVT_MSG, rank, Finish()
+            )

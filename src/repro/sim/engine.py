@@ -1,0 +1,89 @@
+"""Event queue and loop primitives of the cluster simulator.
+
+Two event kinds exist:
+
+* ``EVT_EXEC`` — a rank reached a poll boundary (end of a work
+  quantum) and runs its scheduler step;
+* ``EVT_MSG`` — a message arrives at a rank.
+
+Events at equal timestamps are delivered in insertion order (a
+monotonic sequence number breaks ties), which keeps runs perfectly
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.errors import SimulationError
+
+__all__ = ["EVT_EXEC", "EVT_MSG", "EventQueue"]
+
+EVT_EXEC = 0
+EVT_MSG = 1
+
+#: Default runaway guard for one simulation.
+DEFAULT_MAX_EVENTS = 100_000_000
+
+
+class EventQueue:
+    """Priority queue of timestamped simulation events.
+
+    Entries are ``(time, seq, kind, rank, payload)`` tuples; ``seq``
+    makes the ordering total and FIFO among equal timestamps.
+    """
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events < 1:
+            raise SimulationError(f"max_events must be >= 1, got {max_events}")
+        self._heap: list[tuple[float, int, int, int, Any]] = []
+        self._seq = 0
+        self._processed = 0
+        self._max_events = max_events
+        self.now = 0.0
+
+    def push(self, time: float, kind: int, rank: int, payload: Any = None) -> None:
+        """Schedule an event; scheduling into the past is an error."""
+        if time < self.now:
+            raise SimulationError(
+                f"event scheduled at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, kind, rank, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, int, int, Any]:
+        """Remove and return the next ``(time, kind, rank, payload)``.
+
+        Advances :attr:`now`; enforces the event budget.
+        """
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        time, _seq, kind, rank, payload = heapq.heappop(self._heap)
+        self.now = time
+        self._processed += 1
+        if self._processed > self._max_events:
+            raise SimulationError(
+                f"simulation exceeded {self._max_events} events "
+                "(livelock or runaway configuration?)"
+            )
+        return time, kind, rank, payload
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events delivered so far."""
+        return self._processed
+
+    def clear(self) -> int:
+        """Drop all pending events (post-termination); return the count."""
+        n = len(self._heap)
+        self._heap.clear()
+        return n

@@ -1,0 +1,113 @@
+"""Messages of the simulated work-stealing protocol.
+
+The protocol mirrors the reference MPI UTS (§II-A of the paper): the
+implementation "does not respect the work-first principle.  Indeed, a
+process stealing work will in fact post a request to its victim by a
+message, and the victim will stop working on its queue to package work
+and send it to the stealer."
+
+* :class:`StealRequest` — thief asks a victim for work;
+* :class:`StealResponse` — victim answers with chunks (success) or
+  ``None`` (failed steal);
+* :class:`Token` — the termination-detection token (white/black);
+* :class:`Finish` — rank 0's broadcast that the computation is over.
+"""
+
+from __future__ import annotations
+
+from repro.uts.stack import Chunk
+
+__all__ = [
+    "StealRequest",
+    "StealResponse",
+    "Token",
+    "Finish",
+    "LifelineRegister",
+    "LifelineDeregister",
+    "WHITE",
+    "BLACK",
+]
+
+WHITE = 0
+BLACK = 1
+
+
+class StealRequest:
+    """A steal attempt posted by ``thief``."""
+
+    __slots__ = ("thief",)
+
+    def __init__(self, thief: int):
+        self.thief = thief
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StealRequest(thief={self.thief})"
+
+
+class StealResponse:
+    """The victim's answer: ``chunks`` is None for a failed steal."""
+
+    __slots__ = ("victim", "chunks")
+
+    def __init__(self, victim: int, chunks: list[Chunk] | None):
+        self.victim = victim
+        self.chunks = chunks
+
+    @property
+    def has_work(self) -> bool:
+        return self.chunks is not None
+
+    @property
+    def nodes(self) -> int:
+        return sum(c.size for c in self.chunks) if self.chunks else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = f"{len(self.chunks)} chunks" if self.chunks else "no work"
+        return f"StealResponse(victim={self.victim}, {what})"
+
+
+class Token:
+    """Termination token circulating the ring (see ``termination``)."""
+
+    __slots__ = ("color",)
+
+    def __init__(self, color: int):
+        if color not in (WHITE, BLACK):
+            raise ValueError(f"token color must be WHITE/BLACK, got {color}")
+        self.color = color
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({'white' if self.color == WHITE else 'black'})"
+
+
+class Finish:
+    """Termination broadcast from rank 0."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Finish()"
+
+
+class LifelineRegister:
+    """A starving thief arms its lifeline at a partner (extension)."""
+
+    __slots__ = ("thief",)
+
+    def __init__(self, thief: int):
+        self.thief = thief
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LifelineRegister(thief={self.thief})"
+
+
+class LifelineDeregister:
+    """A woken thief disarms its lifelines (extension)."""
+
+    __slots__ = ("thief",)
+
+    def __init__(self, thief: int):
+        self.thief = thief
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LifelineDeregister(thief={self.thief})"

@@ -1,0 +1,311 @@
+"""Per-rank state machine of the simulated work-stealing scheduler.
+
+Faithful port of the reference ``mpi_workstealing.c`` behaviour the
+paper studies (§II-A, Algorithm 1):
+
+* work items are tree nodes managed in fixed-size chunks; the first
+  chunk is private, thieves take whole chunks from the bottom;
+* between every ``poll_interval`` node expansions the worker polls for
+  messages; pending steal requests are answered there — the victim
+  "stop[s] working on its queue to package work and send it to the
+  stealer" (no work-first principle);
+* an empty stack starts a *work-discovery session*: the victim
+  selector proposes victims one at a time, one outstanding request per
+  thief, until work arrives or the termination ring fires.
+
+A worker never touches the event queue or other workers directly; it
+talks to the cluster through a small transport interface
+(:class:`Transport`), which keeps the state machine unit-testable.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.sessions import Session
+from repro.core.steal_policy import StealPolicy
+from repro.core.tracing import TraceRecorder
+from repro.core.victim import VictimSelector
+from repro.errors import SimulationError
+from repro.sim.messages import Finish, StealRequest, StealResponse
+from repro.uts.stack import ChunkedStack
+from repro.uts.tree import TreeGenerator
+
+__all__ = ["WorkerStatus", "Transport", "Worker"]
+
+
+class WorkerStatus(IntEnum):
+    """Lifecycle of a rank."""
+
+    RUNNING = 0  # has work; an EXEC event is outstanding
+    WAITING = 1  # empty stack; one steal request outstanding
+    DONE = 2  # received the termination broadcast
+
+
+class Transport(Protocol):
+    """What a worker needs from the cluster."""
+
+    def send(self, src: int, dst: int, payload: object, when: float) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst``, sent at ``when``."""
+
+    def schedule_exec(self, rank: int, when: float) -> None:
+        """Schedule the next poll boundary of ``rank`` at ``when``."""
+
+    def rank_became_idle(self, rank: int, when: float) -> None:
+        """Termination hook: ``rank`` ran out of work at ``when``."""
+
+    def work_sent(self, rank: int) -> None:
+        """Termination hook: ``rank`` sent a work message."""
+
+    def local_time(self, rank: int, true_time: float) -> float:
+        """Skewed clock reading used for trace timestamps."""
+
+
+class Worker:
+    """One simulated MPI rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        nranks: int,
+        generator: TreeGenerator,
+        selector: VictimSelector | None,
+        policy: StealPolicy,
+        transport: Transport,
+        chunk_size: int,
+        poll_interval: int,
+        per_node_time: float,
+        steal_service_time: float,
+        trace: TraceRecorder | None = None,
+    ):
+        if nranks > 1 and selector is None:
+            raise SimulationError("multi-rank worker needs a victim selector")
+        self.rank = rank
+        self.nranks = nranks
+        self.generator = generator
+        self.selector = selector
+        self.policy = policy
+        self.transport = transport
+        self.poll_interval = poll_interval
+        self.per_node_time = per_node_time
+        self.steal_service_time = steal_service_time
+
+        self.stack = ChunkedStack(chunk_size)
+        self.status = WorkerStatus.RUNNING  # resolved properly in start()
+        self.pending: list[StealRequest] = []
+        self.trace = trace
+
+        # Counters surfaced by RunResult.
+        self.nodes_processed = 0
+        self.steal_requests_sent = 0
+        self.failed_steals = 0
+        self.successful_steals = 0
+        self.requests_served = 0
+        self.requests_denied = 0
+        self.chunks_sent = 0
+        self.nodes_sent = 0
+        self.chunks_received = 0
+        self.nodes_received = 0
+        self.service_time = 0.0
+        self.finish_time: float | None = None
+
+        self.sessions: list[Session] = []
+        self._session_start: float | None = None
+        self._session_attempts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, now: float) -> None:
+        """Initialise at simulation start: rank 0 holds the root."""
+        if self.rank == 0:
+            state, depth = self.generator.root()
+            self.stack.push_batch(
+                np.array([state], dtype=np.uint64),
+                np.array([depth], dtype=np.int32),
+            )
+            self._record(now, active=True)
+            self.status = WorkerStatus.RUNNING
+            self.transport.schedule_exec(self.rank, now)
+        else:
+            self._go_idle(now)
+
+    # ------------------------------------------------------------------
+    # Event handlers (called by the cluster)
+    # ------------------------------------------------------------------
+
+    def on_exec(self, now: float) -> None:
+        """Poll boundary: answer queued steals, then work or search."""
+        if self.status is not WorkerStatus.RUNNING:
+            raise SimulationError(
+                f"rank {self.rank}: EXEC while {self.status.name}"
+            )
+        t = self._serve_pending(now)
+        if not self.stack.is_empty:
+            t_next = t + self._expand_quantum()
+            self.transport.schedule_exec(self.rank, t_next)
+        else:
+            self._go_idle(t)
+
+    def on_message(self, now: float, msg: object) -> None:
+        """A message arrived at this rank at (true) time ``now``."""
+        if self.status is WorkerStatus.DONE:
+            return  # post-termination stragglers are dropped
+        if isinstance(msg, StealRequest):
+            if self.status is WorkerStatus.RUNNING:
+                self.pending.append(msg)
+            else:
+                # Idle ranks have nothing to give; deny immediately.
+                self.requests_denied += 1
+                self.transport.send(
+                    self.rank, msg.thief, StealResponse(self.rank, None), now
+                )
+        elif isinstance(msg, StealResponse):
+            self._on_response(now, msg)
+        elif isinstance(msg, Finish):
+            self._on_finish(now)
+        else:
+            raise SimulationError(
+                f"rank {self.rank}: unexpected message {msg!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _serve_pending(self, now: float) -> float:
+        """Answer queued steal requests; returns the advanced local time."""
+        t = now
+        if not self.pending:
+            return t
+        for req in self.pending:
+            stealable = self.stack.stealable_chunks
+            take = self.policy.chunks_to_steal(stealable) if stealable else 0
+            if take > 0:
+                # Packaging work costs the victim compute time.
+                t += self.steal_service_time
+                self.service_time += self.steal_service_time
+                chunks = self.stack.steal_chunks(take)
+                self.requests_served += 1
+                self.chunks_sent += len(chunks)
+                self.nodes_sent += sum(c.size for c in chunks)
+                self.transport.work_sent(self.rank)
+                self.transport.send(
+                    self.rank, req.thief, StealResponse(self.rank, chunks), t
+                )
+            else:
+                self.requests_denied += 1
+                self.transport.send(
+                    self.rank, req.thief, StealResponse(self.rank, None), t
+                )
+        self.pending.clear()
+        return t
+
+    def _expand_quantum(self) -> float:
+        """Expand up to ``poll_interval`` nodes; return the time spent."""
+        states, depths = self.stack.pop_batch(self.poll_interval)
+        n = len(states)
+        child_states, child_depths, _counts = self.generator.children_batch(
+            states, depths
+        )
+        if child_states.size:
+            self.stack.push_batch(child_states, child_depths)
+        self.nodes_processed += n
+        return n * self.per_node_time
+
+    def _go_idle(self, t: float) -> None:
+        """Stack exhausted: record the transition and start searching."""
+        # Ranks that never had work have no active->inactive edge; their
+        # trace stays empty until they first receive work.
+        if self._was_active():
+            self._record(t, active=False)
+        self.status = WorkerStatus.WAITING
+        self._session_start = t
+        self._session_attempts = 0
+        self.transport.rank_became_idle(self.rank, t)
+        if self.nranks > 1:
+            self._send_steal_request(t)
+        # nranks == 1: termination fires via rank_became_idle.
+
+    def _was_active(self) -> bool:
+        return self.trace is None or (
+            len(self.trace.states) > 0 and self.trace.states[-1]
+        )
+
+    def _send_steal_request(self, t: float) -> None:
+        assert self.selector is not None
+        victim = self.selector.next_victim()
+        self.steal_requests_sent += 1
+        self._session_attempts += 1
+        self.transport.send(self.rank, victim, StealRequest(self.rank), t)
+
+    def _on_response(self, now: float, msg: StealResponse) -> None:
+        if self.status is not WorkerStatus.WAITING:
+            raise SimulationError(
+                f"rank {self.rank}: steal response while {self.status.name}"
+            )
+        if msg.has_work:
+            assert msg.chunks is not None
+            received = self.stack.receive_chunks(msg.chunks)
+            self.successful_steals += 1
+            self.chunks_received += len(msg.chunks)
+            self.nodes_received += received
+            if self.selector is not None:
+                self.selector.notify(msg.victim, success=True)
+            self._close_session(now, found_work=True)
+            self._record(now, active=True)
+            self.status = WorkerStatus.RUNNING
+            self.transport.schedule_exec(self.rank, now)
+        else:
+            self.failed_steals += 1
+            if self.selector is not None:
+                self.selector.notify(msg.victim, success=False)
+            self._send_steal_request(now)
+
+    def _on_finish(self, now: float) -> None:
+        if self.status is WorkerStatus.RUNNING or not self.stack.is_empty:
+            raise SimulationError(
+                f"rank {self.rank}: Finish while holding work "
+                "(termination detected too early)"
+            )
+        if self._session_start is not None:
+            self._close_session(now, found_work=False)
+        self.status = WorkerStatus.DONE
+        self.finish_time = now
+
+    def _close_session(self, end: float, found_work: bool) -> None:
+        assert self._session_start is not None
+        self.sessions.append(
+            Session(
+                rank=self.rank,
+                start=self._session_start,
+                end=end,
+                found_work=found_work,
+                attempts=self._session_attempts,
+            )
+        )
+        self._session_start = None
+        self._session_attempts = 0
+
+    def _record(self, true_time: float, active: bool) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                self.transport.local_time(self.rank, true_time), active
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def search_time(self) -> float:
+        """Total time this rank spent in work-discovery sessions."""
+        return sum(s.duration for s in self.sessions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Worker(rank={self.rank}, status={self.status.name}, "
+            f"stack={self.stack.size}, processed={self.nodes_processed})"
+        )

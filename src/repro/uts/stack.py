@@ -1,0 +1,248 @@
+"""Chunked work stack with a private working chunk.
+
+This mirrors the ``StealStack`` of the reference MPI UTS
+implementation, as described in §II-A of the paper:
+
+* work items (tree nodes) are managed in fixed-size *chunks* to
+  amortise memory management and to set the steal granularity;
+* the owner pushes and pops at the *top*; thieves remove whole chunks
+  from the *bottom* (the oldest work, nearest the root, statistically
+  the largest subtrees);
+* the top chunk is always *private*: "if there is only one incomplete
+  chunk in the stack of a process, no work can be stolen, as the first
+  chunk is always considered private" — so a stack with ``k`` chunks
+  has ``k - 1`` stealable chunks.
+
+The structural invariant maintained throughout is that **every chunk
+except the top one is full**: new chunks are only created when the top
+chunk overflows, pops only drain the top, and steals only remove
+bottom (full) chunks.  Tests assert this invariant under random
+operation sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StackError
+
+__all__ = ["Chunk", "ChunkedStack"]
+
+
+class Chunk:
+    """A fixed-capacity block of tree nodes (states + depths)."""
+
+    __slots__ = ("states", "depths", "size", "capacity")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise StackError(f"chunk capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.states = np.empty(capacity, dtype=np.uint64)
+        self.depths = np.empty(capacity, dtype=np.int32)
+        self.size = 0
+
+    @classmethod
+    def from_arrays(cls, states: np.ndarray, depths: np.ndarray, capacity: int) -> "Chunk":
+        """Build a chunk holding ``states``/``depths`` (must fit capacity)."""
+        n = len(states)
+        if n > capacity:
+            raise StackError(f"{n} nodes exceed chunk capacity {capacity}")
+        chunk = cls(capacity)
+        chunk.states[:n] = states
+        chunk.depths[:n] = depths
+        chunk.size = n
+        return chunk
+
+    @property
+    def is_full(self) -> bool:
+        return self.size == self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.size
+
+    def push(self, states: np.ndarray, depths: np.ndarray) -> int:
+        """Append as many of the given nodes as fit; return how many."""
+        n = min(len(states), self.free)
+        if n:
+            self.states[self.size : self.size + n] = states[:n]
+            self.depths[self.size : self.size + n] = depths[:n]
+            self.size += n
+        return n
+
+    def pop(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return up to ``n`` nodes from the top of the chunk."""
+        n = min(n, self.size)
+        self.size -= n
+        lo, hi = self.size, self.size + n
+        return self.states[lo:hi].copy(), self.depths[lo:hi].copy()
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the live portion (no copy)."""
+        return self.states[: self.size], self.depths[: self.size]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Chunk(size={self.size}/{self.capacity})"
+
+
+class ChunkedStack:
+    """LIFO node stack for one worker, stealable in whole chunks.
+
+    Parameters
+    ----------
+    chunk_size:
+        Nodes per chunk — the steal granularity.  The paper (and this
+        library's default config) uses 20.
+    """
+
+    def __init__(self, chunk_size: int):
+        if chunk_size < 1:
+            raise StackError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self._chunks: list[Chunk] = []
+        # Lifetime accounting, used by conservation tests.
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.total_stolen_away = 0
+
+    # ------------------------------------------------------------------
+    # Size / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes currently held."""
+        return sum(c.size for c in self._chunks)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._chunks
+
+    @property
+    def stealable_chunks(self) -> int:
+        """Chunks a thief may take: all but the private top chunk."""
+        return max(0, len(self._chunks) - 1)
+
+    def check_invariant(self) -> None:
+        """Raise :class:`StackError` if a non-top chunk is not full."""
+        for chunk in self._chunks[:-1]:
+            if not chunk.is_full:
+                raise StackError(
+                    f"non-top chunk has {chunk.size}/{chunk.capacity} nodes"
+                )
+        if self._chunks and self._chunks[-1].is_empty:
+            raise StackError("top chunk is empty but present")
+
+    # ------------------------------------------------------------------
+    # Owner operations (push/pop at the top)
+    # ------------------------------------------------------------------
+
+    def push_batch(self, states: np.ndarray, depths: np.ndarray) -> None:
+        """Push nodes on top of the stack, spilling into new chunks."""
+        states = np.asarray(states, dtype=np.uint64)
+        depths = np.asarray(depths, dtype=np.int32)
+        n = len(states)
+        if n == 0:
+            return
+        self.total_pushed += n
+        offset = 0
+        if self._chunks and not self._chunks[-1].is_full:
+            offset = self._chunks[-1].push(states, depths)
+        while offset < n:
+            take = min(self.chunk_size, n - offset)
+            self._chunks.append(
+                Chunk.from_arrays(
+                    states[offset : offset + take],
+                    depths[offset : offset + take],
+                    self.chunk_size,
+                )
+            )
+            offset += take
+
+    def pop_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pop up to ``n`` nodes from the top of the stack."""
+        if n < 0:
+            raise StackError(f"cannot pop {n} nodes")
+        out_states: list[np.ndarray] = []
+        out_depths: list[np.ndarray] = []
+        remaining = n
+        while remaining > 0 and self._chunks:
+            top = self._chunks[-1]
+            s, d = top.pop(remaining)
+            out_states.append(s)
+            out_depths.append(d)
+            remaining -= len(s)
+            if top.is_empty:
+                self._chunks.pop()
+        if not out_states:
+            return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int32)
+        states = np.concatenate(out_states)
+        depths = np.concatenate(out_depths)
+        self.total_popped += len(states)
+        return states, depths
+
+    # ------------------------------------------------------------------
+    # Thief operations (remove whole chunks from the bottom)
+    # ------------------------------------------------------------------
+
+    def steal_chunks(self, count: int) -> list[Chunk]:
+        """Remove ``count`` chunks from the bottom of the stack.
+
+        Raises :class:`StackError` if the request exceeds
+        :attr:`stealable_chunks` — the steal *policy* must size the
+        request; the stack only enforces the private-chunk rule.
+        """
+        if count < 0:
+            raise StackError(f"cannot steal {count} chunks")
+        if count > self.stealable_chunks:
+            raise StackError(
+                f"requested {count} chunks but only "
+                f"{self.stealable_chunks} are stealable"
+            )
+        stolen = self._chunks[:count]
+        del self._chunks[:count]
+        self.total_stolen_away += sum(c.size for c in stolen)
+        return stolen
+
+    def receive_chunks(self, chunks: list[Chunk]) -> int:
+        """Add stolen chunks to this (thief's) stack; return node count.
+
+        The chunks arrive full (the stack invariant on the victim side
+        guarantees it) and are placed below any existing chunks, so the
+        thief's private chunk stays on top.
+        """
+        received = 0
+        for chunk in chunks:
+            if chunk.is_empty:
+                raise StackError("received an empty chunk")
+            if not chunk.is_full and self._chunks:
+                raise StackError("received a partial chunk into a non-empty stack")
+            received += chunk.size
+        self._chunks[:0] = chunks
+        self.total_pushed += received
+        return received
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return everything (used by tests and shutdown)."""
+        return self.pop_batch(self.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChunkedStack(chunks={self.num_chunks}, nodes={self.size}, "
+            f"chunk_size={self.chunk_size})"
+        )

@@ -1,0 +1,185 @@
+"""Refined results of a distributed work-stealing run.
+
+:class:`RunResult` derives every quantity the paper's evaluation
+reports from the raw :class:`~repro.sim.cluster.SimOutcome`:
+
+* runtime, speedup and efficiency against the extrapolated
+  single-process baseline (the paper's T3WL baseline is itself
+  extrapolated from the nodes/second rate, §II-B);
+* failed/successful steal counts (Figs 7, 15);
+* per-process average search time (Fig 14) and work-discovery session
+  statistics (Fig 10);
+* the skew-corrected activity trace and its scheduling-latency
+  profile (Figs 4, 5, 12, 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import LatencyProfile, OccupancyCurve, latency_profile
+from repro.core.sessions import Session, SessionStats, summarize_sessions
+from repro.core.tracing import ActivityTrace
+from repro.errors import ReproError
+from repro.sim.cluster import SimOutcome
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything the paper measures, for one run."""
+
+    label: str
+    tree_name: str
+    nranks: int
+    allocation: str
+    selector: str
+    steal_policy: str
+    compute_rounds: int
+
+    total_nodes: int
+    total_time: float
+    baseline_time: float
+
+    steal_requests: int
+    failed_steals: int
+    successful_steals: int
+    nodes_stolen: int
+    chunks_stolen: int
+
+    search_time_total: float
+    sessions: SessionStats
+    per_rank_nodes: np.ndarray
+    per_rank_search_time: np.ndarray
+
+    events_processed: int
+    messages_dropped: int
+    probes_started: int
+
+    trace: ActivityTrace | None = None
+    _profile: LatencyProfile | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Paper headline numbers
+    # ------------------------------------------------------------------
+
+    @property
+    def speedup(self) -> float:
+        """``T1 / TN`` against the extrapolated sequential baseline."""
+        return self.baseline_time / self.total_time
+
+    @property
+    def efficiency(self) -> float:
+        """``speedup / N`` (Fig 2's y-axis)."""
+        return self.speedup / self.nranks
+
+    @property
+    def nodes_per_second(self) -> float:
+        return self.total_nodes / self.total_time
+
+    @property
+    def mean_search_time(self) -> float:
+        """Average per-process search time (Fig 14's y-axis)."""
+        return self.search_time_total / self.nranks
+
+    @property
+    def mean_session_duration(self) -> float:
+        """Average work-discovery session duration (Fig 10's y-axis)."""
+        return self.sessions.mean_duration
+
+    # ------------------------------------------------------------------
+    # Scheduling-latency metric
+    # ------------------------------------------------------------------
+
+    def occupancy_curve(self) -> OccupancyCurve:
+        if self.trace is None:
+            raise ReproError(
+                "run was not traced; pass trace=True in the config"
+            )
+        return OccupancyCurve(self.trace, self.nranks, self.total_time)
+
+    def latency_profile(
+        self, occupancies: np.ndarray | None = None
+    ) -> LatencyProfile:
+        if self.trace is None:
+            raise ReproError(
+                "run was not traced; pass trace=True in the config"
+            )
+        if occupancies is None:
+            if self._profile is None:
+                self._profile = latency_profile(
+                    self.trace, self.nranks, self.total_time
+                )
+            return self._profile
+        return latency_profile(
+            self.trace, self.nranks, self.total_time, occupancies
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_outcome(
+        cls, outcome: SimOutcome, baseline_time: float | None = None
+    ) -> "RunResult":
+        """Derive the refined result from a raw simulation outcome.
+
+        ``baseline_time`` defaults to the paper's extrapolation: the
+        node count times the per-node compute time (what a single
+        process traversing the same tree would take).
+        """
+        cfg = outcome.config
+        workers = outcome.workers
+        if baseline_time is None:
+            baseline_time = outcome.total_nodes * cfg.per_node_time
+        sessions: list[Session] = []
+        for w in workers:
+            sessions.extend(w.sessions)
+        trace = None
+        if outcome.recorders is not None:
+            raw = ActivityTrace.from_recorders(outcome.recorders)
+            # Undo the simulated clock skew, as the paper does.
+            trace = (
+                raw.corrected(outcome.clock.offsets)
+                if outcome.clock.enabled
+                else raw
+            )
+        assert not isinstance(cfg.allocation, str)
+        assert not isinstance(cfg.selector, str)
+        assert not isinstance(cfg.steal_policy, str)
+        return cls(
+            label=cfg.label(),
+            tree_name=cfg.tree.name,
+            nranks=cfg.nranks,
+            allocation=cfg.allocation.name,
+            selector=cfg.selector.name,
+            steal_policy=cfg.steal_policy.name,
+            compute_rounds=cfg.compute_rounds,
+            total_nodes=outcome.total_nodes,
+            total_time=outcome.total_time,
+            baseline_time=baseline_time,
+            steal_requests=sum(w.steal_requests_sent for w in workers),
+            failed_steals=sum(w.failed_steals for w in workers),
+            successful_steals=sum(w.successful_steals for w in workers),
+            nodes_stolen=sum(w.nodes_received for w in workers),
+            chunks_stolen=sum(w.chunks_received for w in workers),
+            search_time_total=sum(w.search_time for w in workers),
+            sessions=summarize_sessions(sessions, cfg.nranks),
+            per_rank_nodes=np.array([w.nodes_processed for w in workers]),
+            per_rank_search_time=np.array([w.search_time for w in workers]),
+            events_processed=outcome.events_processed,
+            messages_dropped=outcome.messages_dropped,
+            probes_started=outcome.probes_started,
+            trace=trace,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.label}: T={self.total_time * 1e3:.2f}ms "
+            f"speedup={self.speedup:.1f} eff={self.efficiency:.2f} "
+            f"failed={self.failed_steals} "
+            f"search={self.mean_search_time * 1e3:.2f}ms"
+        )

@@ -1,0 +1,78 @@
+"""The public run API.
+
+Typical use::
+
+    from repro.uts.params import T3S
+    from repro.ws import run_uts
+
+    result = run_uts(tree=T3S, nranks=64, selector="tofu",
+                     steal_policy="half", allocation="1/N")
+    print(result.summary())
+
+Everything accepts either resolved strategy objects or the string
+shorthands of :mod:`repro.core.config`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import WorkStealingConfig
+from repro.sim.cluster import Cluster
+from repro.uts.params import TreeParams
+from repro.uts.rng import RngBackend
+from repro.uts.sequential import sequential_count
+from repro.ws.results import RunResult
+
+__all__ = ["run_uts", "sequential_baseline"]
+
+
+def sequential_baseline(
+    tree: TreeParams,
+    node_time: float = 1e-6,
+    compute_rounds: int = 1,
+    backend: RngBackend | None = None,
+) -> float:
+    """Extrapolated single-process runtime ``T1`` for a tree.
+
+    The paper could not run T3WL on one process ("it exceeds a day")
+    and extrapolated from the nodes/second rate; we do the same:
+    ``T1 = total_nodes * per_node_time``.
+    """
+    seq = sequential_count(tree, backend=backend)
+    return seq.total_nodes * node_time * compute_rounds
+
+
+def run_uts(
+    config: WorkStealingConfig | None = None,
+    *,
+    tree: TreeParams | None = None,
+    nranks: int | None = None,
+    baseline_time: float | None = None,
+    max_events: int | None = None,
+    **config_kwargs,
+) -> RunResult:
+    """Run one distributed UTS execution and return its results.
+
+    Either pass a prebuilt :class:`WorkStealingConfig` as ``config``,
+    or pass ``tree``, ``nranks`` and any other config fields as
+    keyword arguments.
+
+    Parameters
+    ----------
+    baseline_time:
+        ``T1`` for speedup/efficiency; defaults to the extrapolated
+        single-process time of the run's own tree.
+    max_events:
+        Override the simulator's event budget.
+    """
+    if config is None:
+        if tree is None or nranks is None:
+            raise TypeError(
+                "run_uts needs either a config or tree= and nranks="
+            )
+        config = WorkStealingConfig(tree=tree, nranks=nranks, **config_kwargs)
+    elif tree is not None or nranks is not None or config_kwargs:
+        raise TypeError(
+            "pass either a config object or keyword fields, not both"
+        )
+    outcome = Cluster(config, max_events=max_events).run()
+    return RunResult.from_outcome(outcome, baseline_time=baseline_time)

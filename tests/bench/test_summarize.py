@@ -1,0 +1,56 @@
+"""Tests for the artifact summariser used to refresh EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SCRIPT = os.path.join(REPO, "benchmarks", "summarize.py")
+
+
+def test_renders_artifacts(tmp_path, monkeypatch):
+    # Build a private artifact dir with each payload flavour.
+    artifacts = tmp_path / "_artifacts"
+    artifacts.mkdir()
+    (artifacts / "figX.json").write_text(
+        json.dumps({"x": [1, 2], "curves": {"ref": [1.0, 2.0], "opt": [2.0, 4.0]}})
+    )
+    (artifacts / "tableY.json").write_text(
+        json.dumps({"headers": ["a", "b"], "rows": [[1, 2.5]]})
+    )
+    (artifacts / "profZ.json").write_text(
+        json.dumps({"occupancy": [0.1, 0.2], "SL": [0.0, 0.5], "EL": [0.1, 0.9]})
+    )
+    # Point the script at the private dir by copying it next to them.
+    script_copy = tmp_path / "summarize.py"
+    script_copy.write_text(open(SCRIPT).read())
+    proc = subprocess.run(
+        [sys.executable, str(script_copy)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "### figX" in out
+    assert "| ref | opt |" in out or "ref" in out
+    assert "### tableY" in out
+    assert "### profZ" in out
+    assert "SL" in out
+
+
+@pytest.mark.skipif(
+    not os.path.isdir(os.path.join(REPO, "benchmarks", "_artifacts")),
+    reason="no recorded artifacts yet (run pytest benchmarks/ first)",
+)
+def test_renders_recorded_artifacts():
+    proc = subprocess.run(
+        [sys.executable, SCRIPT], capture_output=True, text=True, timeout=60
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "###" in proc.stdout

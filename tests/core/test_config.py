@@ -1,0 +1,104 @@
+"""Tests for the work-stealing run configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WorkStealingConfig
+from repro.core.steal_policy import StealHalf, StealOne
+from repro.core.victim import DistanceSkewedSelector, RoundRobinSelector
+from repro.errors import ConfigurationError
+from repro.net.allocation import GroupedPacked, OnePerNode
+from repro.net.latency import KComputerLatency, UniformLatency
+from repro.uts.params import T3XS
+from repro.uts.rng import SplitMix64Backend
+
+
+def _cfg(**kw) -> WorkStealingConfig:
+    return WorkStealingConfig(tree=T3XS, nranks=8, **kw)
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = _cfg()
+        assert cfg.chunk_size == 20  # the paper's default chunk size
+        assert isinstance(cfg.selector, RoundRobinSelector)
+        assert isinstance(cfg.steal_policy, StealOne)
+        assert isinstance(cfg.allocation, OnePerNode)
+        assert isinstance(cfg.latency_model, KComputerLatency)
+        assert isinstance(cfg.rng_backend, SplitMix64Backend)
+        assert cfg.compute_rounds == 1
+
+    def test_string_resolution(self):
+        cfg = _cfg(
+            allocation="8G",
+            selector="tofu",
+            steal_policy="half",
+            rng_backend="sha1",
+        )
+        assert isinstance(cfg.allocation, GroupedPacked)
+        assert isinstance(cfg.selector, DistanceSkewedSelector)
+        assert isinstance(cfg.steal_policy, StealHalf)
+        assert cfg.rng_backend.name == "sha1"
+
+    def test_object_passthrough(self):
+        sel = DistanceSkewedSelector()
+        cfg = _cfg(selector=sel, latency_model=UniformLatency(1e-6))
+        assert cfg.selector is sel
+        assert isinstance(cfg.latency_model, UniformLatency)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("nranks", 0),
+            ("chunk_size", 0),
+            ("poll_interval", 0),
+            ("node_time", 0.0),
+            ("node_time", -1.0),
+            ("compute_rounds", 0),
+            ("steal_service_time", -1e-9),
+            ("transfer_time_per_node", -1e-9),
+            ("nic_service_time", -1e-9),
+            ("clock_skew_std", -1e-9),
+            ("node_cap", 0),
+        ],
+    )
+    def test_bad_values(self, field, value):
+        kwargs = {"tree": T3XS, "nranks": 8, field: value}
+        kwargs["nranks"] = kwargs.get("nranks", 8)
+        if field == "nranks":
+            kwargs["nranks"] = value
+        with pytest.raises(ConfigurationError):
+            WorkStealingConfig(**kwargs)
+
+    def test_bad_selector_string(self):
+        with pytest.raises(ConfigurationError):
+            _cfg(selector="nonexistent")
+
+    def test_bad_policy_string(self):
+        with pytest.raises(ConfigurationError):
+            _cfg(steal_policy="everything")
+
+
+class TestDerived:
+    def test_per_node_time_scales_with_rounds(self):
+        assert _cfg(compute_rounds=4).per_node_time == pytest.approx(
+            4 * _cfg().per_node_time
+        )
+
+    def test_label(self):
+        cfg = _cfg(selector="tofu", steal_policy="half", allocation="8G")
+        assert cfg.label() == "tofu/half 8G x8 [T3XS]"
+
+    def test_replace(self):
+        cfg = _cfg()
+        derived = cfg.replace(nranks=16, selector="rand")
+        assert derived.nranks == 16
+        assert derived.selector.name == "rand"
+        assert cfg.nranks == 8  # original untouched
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            _cfg().replace(nranks=-1)

@@ -1,0 +1,129 @@
+"""Property-based tests of the scheduling-latency metric itself.
+
+These pin down the mathematical behaviour of SL/EL on arbitrary valid
+traces — monotonicity, time-reversal duality, and invariance under
+uniform time scaling — properties the paper's definitions imply but
+never spell out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import OccupancyCurve
+from repro.core.tracing import ActivityTrace
+
+
+@st.composite
+def closed_traces(draw):
+    """Traces where every rank's activity intervals are closed and lie
+    strictly inside [0, T]."""
+    nranks = draw(st.integers(min_value=1, max_value=6))
+    total_time = draw(st.floats(min_value=10.0, max_value=100.0))
+    transitions = []
+    # Times live on a 1/1024 grid of [0, T]: keeps intervals wide enough
+    # that the mirrored times (T - t) stay exactly representable and
+    # zero-width fp degeneracies cannot arise.
+    for _ in range(nranks):
+        n_intervals = draw(st.integers(min_value=0, max_value=4))
+        ticks = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=1024),
+                    min_size=2 * n_intervals,
+                    max_size=2 * n_intervals,
+                    unique=True,
+                )
+            )
+        )
+        times = np.array(ticks, dtype=np.float64) * (total_time / 1024.0)
+        states = np.array([k % 2 == 0 for k in range(len(ticks))])
+        transitions.append((times, states))
+    return ActivityTrace(transitions), nranks, total_time
+
+
+@given(closed_traces(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_sl_monotone_in_occupancy(case, data):
+    trace, nranks, total = case
+    curve = OccupancyCurve(trace, nranks, total)
+    x1 = data.draw(st.floats(min_value=0.01, max_value=1.0))
+    x2 = data.draw(st.floats(min_value=0.01, max_value=1.0))
+    lo, hi = min(x1, x2), max(x1, x2)
+    sl_lo = curve.starting_latency(lo)
+    sl_hi = curve.starting_latency(hi)
+    # Reaching a higher occupancy can never happen earlier.
+    if sl_hi is not None:
+        assert sl_lo is not None
+        assert sl_lo <= sl_hi + 1e-12
+
+
+@given(closed_traces(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_el_monotone_in_occupancy(case, data):
+    trace, nranks, total = case
+    curve = OccupancyCurve(trace, nranks, total)
+    lo = data.draw(st.floats(min_value=0.01, max_value=0.5))
+    hi = data.draw(st.floats(min_value=0.5, max_value=1.0))
+    el_lo = curve.ending_latency(lo)
+    el_hi = curve.ending_latency(hi)
+    # A higher occupancy cannot be sustained *later* than a lower one.
+    if el_hi is not None:
+        assert el_lo is not None
+        assert el_lo <= el_hi + 1e-12
+
+
+@given(closed_traces(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_time_reversal_swaps_sl_and_el(case, data):
+    """Mirroring a trace in time swaps the two latencies exactly."""
+    trace, nranks, total = case
+    x = data.draw(st.floats(min_value=0.05, max_value=1.0))
+    curve = OccupancyCurve(trace, nranks, total)
+
+    mirrored = ActivityTrace(
+        [
+            (total - times[::-1], states[::-1] if len(states) == 0 else
+             # A rank active on [a, b] is active on [T-b, T-a] in the
+             # mirror: reversed order, flipped transition directions.
+             ~states[::-1])
+            for times, states in trace.transitions
+        ]
+    )
+    mcurve = OccupancyCurve(mirrored, nranks, total)
+    sl = curve.starting_latency(x)
+    el_m = mcurve.ending_latency(x)
+    if sl is None:
+        assert el_m is None
+    else:
+        assert el_m is not None
+        assert abs(sl - el_m) < 1e-9
+
+
+@given(closed_traces(), st.floats(min_value=0.1, max_value=10.0), st.data())
+@settings(max_examples=100, deadline=None)
+def test_latencies_invariant_under_time_scaling(case, scale, data):
+    """SL/EL are fractions of the runtime: rescaling time changes nothing."""
+    trace, nranks, total = case
+    x = data.draw(st.floats(min_value=0.05, max_value=1.0))
+    scaled = ActivityTrace(
+        [(times * scale, states.copy()) for times, states in trace.transitions]
+    )
+    a = OccupancyCurve(trace, nranks, total)
+    b = OccupancyCurve(scaled, nranks, total * scale)
+    sa, sb = a.starting_latency(x), b.starting_latency(x)
+    if sa is None:
+        assert sb is None
+    else:
+        assert sb is not None
+        assert abs(sa - sb) < 1e-9
+
+
+@given(closed_traces())
+@settings(max_examples=100, deadline=None)
+def test_average_occupancy_bounded_by_max(case):
+    trace, nranks, total = case
+    curve = OccupancyCurve(trace, nranks, total)
+    assert 0.0 <= curve.average_occupancy() <= curve.max_occupancy + 1e-12

@@ -1,0 +1,176 @@
+"""Unit tests of the LifelineWorker state machine via a fake transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.steal_policy import StealOne
+from repro.core.victim import UniformRandomSelector
+from repro.lifeline.worker import LifelineWorker
+from repro.sim.messages import (
+    LifelineDeregister,
+    LifelineRegister,
+    StealRequest,
+    StealResponse,
+)
+from repro.sim.worker import WorkerStatus
+from repro.uts.params import TreeParams
+from repro.uts.stack import Chunk
+from repro.uts.tree import TreeGenerator
+
+TREE = TreeParams(name="lw", tree_type="binomial", root_seed=3, b0=30, m=2, q=0.4)
+
+
+class FakeTransport:
+    def __init__(self):
+        self.sent = []
+        self.execs = []
+        self.idles = []
+        self.work_sends = []
+
+    def send(self, src, dst, payload, when):
+        self.sent.append((src, dst, payload, when))
+
+    def schedule_exec(self, rank, when):
+        self.execs.append((rank, when))
+
+    def rank_became_idle(self, rank, when):
+        self.idles.append((rank, when))
+
+    def work_sent(self, rank):
+        self.work_sends.append(rank)
+
+    def local_time(self, rank, true_time):
+        return true_time
+
+
+def make_worker(rank=1, nranks=8, threshold=2, count=2):
+    t = FakeTransport()
+    w = LifelineWorker(
+        rank=rank,
+        nranks=nranks,
+        generator=TreeGenerator(TREE),
+        selector=UniformRandomSelector().make(rank, nranks, seed=0),
+        policy=StealOne(),
+        transport=t,
+        chunk_size=5,
+        poll_interval=4,
+        per_node_time=1e-6,
+        steal_service_time=1e-6,
+        lifeline_count=count,
+        lifeline_threshold=threshold,
+    )
+    return w, t
+
+
+def full_chunk(start=0) -> Chunk:
+    c = Chunk(5)
+    c.push(
+        np.arange(start, start + 5, dtype=np.uint64),
+        np.full(5, 2, dtype=np.int32),
+    )
+    return c
+
+
+class TestQuiescence:
+    def test_quiesces_after_threshold_failures(self):
+        w, t = make_worker(threshold=2)
+        w.start(0.0)
+        # Two failed responses reach the threshold.
+        w.on_message(1.0, StealResponse(victim=2, chunks=None))
+        assert not w._quiescent
+        w.on_message(2.0, StealResponse(victim=3, chunks=None))
+        assert w._quiescent
+        assert w.quiesce_episodes == 1
+        registers = [m for m in t.sent if isinstance(m[2], LifelineRegister)]
+        assert len(registers) == len(w.partners)
+
+    def test_no_requests_while_quiescent(self):
+        w, t = make_worker(threshold=1)
+        w.start(0.0)
+        w.on_message(1.0, StealResponse(victim=2, chunks=None))
+        n = len([m for m in t.sent if isinstance(m[2], StealRequest)])
+        # Another failed response must not arrive (no request out), but
+        # even if a stale one does, no new request is sent.
+        w.on_message(2.0, StealResponse(victim=3, chunks=None))
+        n2 = len([m for m in t.sent if isinstance(m[2], StealRequest)])
+        assert n2 == n
+
+    def test_wakeup_disarms(self):
+        w, t = make_worker(threshold=1)
+        w.start(0.0)
+        w.on_message(1.0, StealResponse(victim=2, chunks=None))  # quiesce
+        w.on_message(3.0, StealResponse(victim=4, chunks=[full_chunk()]))
+        assert w.status is WorkerStatus.RUNNING
+        assert not w._quiescent
+        assert w.lifeline_wakeups == 1
+        deregs = [m for m in t.sent if isinstance(m[2], LifelineDeregister)]
+        assert len(deregs) == len(w.partners)
+
+
+class TestPushes:
+    def test_push_to_armed_waiter_at_poll(self):
+        w, t = make_worker(rank=0)
+        # Give the worker plenty of stealable work.
+        w.stack.push_batch(
+            np.arange(25, dtype=np.uint64), np.full(25, 2, dtype=np.int32)
+        )
+        w.status = WorkerStatus.RUNNING
+        w.on_message(1.0, LifelineRegister(thief=5))
+        assert w.waiters == [5]
+        w.on_exec(2.0)
+        pushes = [
+            m for m in t.sent
+            if isinstance(m[2], StealResponse) and m[2].has_work and m[1] == 5
+        ]
+        assert len(pushes) == 1
+        assert w.lifeline_pushes == 1
+        assert w.waiters == []
+        assert t.work_sends == [0]
+
+    def test_deregister_removes_waiter(self):
+        w, _ = make_worker(rank=0)
+        w.status = WorkerStatus.RUNNING
+        w.stack.push_batch(
+            np.arange(25, dtype=np.uint64), np.full(25, 2, dtype=np.int32)
+        )
+        w.on_message(1.0, LifelineRegister(thief=5))
+        w.on_message(1.5, LifelineDeregister(thief=5))
+        assert w.waiters == []
+
+    def test_duplicate_register_ignored(self):
+        w, _ = make_worker(rank=0)
+        w.status = WorkerStatus.RUNNING
+        w.stack.push_batch(
+            np.arange(25, dtype=np.uint64), np.full(25, 2, dtype=np.int32)
+        )
+        w.on_message(1.0, LifelineRegister(thief=5))
+        w.on_message(1.1, LifelineRegister(thief=5))
+        assert w.waiters == [5]
+
+    def test_spurious_push_while_running_merged(self):
+        """A lifeline push racing the thief's own recovery is absorbed."""
+        w, _ = make_worker(rank=0)
+        w.status = WorkerStatus.RUNNING
+        w.stack.push_batch(
+            np.arange(5, dtype=np.uint64), np.full(5, 2, dtype=np.int32)
+        )
+        before = w.stack.size
+        w.on_message(2.0, StealResponse(victim=3, chunks=[full_chunk(100)]))
+        assert w.stack.size == before + 5
+        assert w.status is WorkerStatus.RUNNING
+
+    def test_no_push_without_stealable_work(self):
+        w, t = make_worker(rank=0)
+        w.status = WorkerStatus.RUNNING
+        w.stack.push_batch(
+            np.arange(3, dtype=np.uint64), np.full(3, 2, dtype=np.int32)
+        )  # single private chunk only
+        w.on_message(1.0, LifelineRegister(thief=5))
+        w.on_exec(2.0)
+        pushes = [
+            m for m in t.sent if isinstance(m[2], StealResponse) and m[2].has_work
+        ]
+        assert pushes == []
+        assert w.waiters == [5]  # still armed for later

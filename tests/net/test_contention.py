@@ -1,0 +1,57 @@
+"""Tests for the NIC contention model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.contention import NicContention
+
+
+class TestDisabled:
+    def test_zero_service_is_noop(self):
+        nic = NicContention(np.array([0, 0, 1]), service_time=0.0)
+        assert not nic.enabled
+        assert nic.inject(0, 5.0) == 5.0
+        assert nic.inject(1, 5.0) == 5.0  # same node, same instant: no queueing
+
+
+class TestEnabled:
+    def test_serialises_same_node(self):
+        nic = NicContention(np.array([0, 0]), service_time=1.0)
+        t1 = nic.inject(0, 10.0)
+        t2 = nic.inject(1, 10.0)
+        assert t1 == 11.0
+        assert t2 == 12.0  # queued behind rank 0's message
+
+    def test_independent_nodes(self):
+        nic = NicContention(np.array([0, 1]), service_time=1.0)
+        assert nic.inject(0, 10.0) == 11.0
+        assert nic.inject(1, 10.0) == 11.0
+
+    def test_idle_port_no_backlog(self):
+        nic = NicContention(np.array([0]), service_time=1.0)
+        nic.inject(0, 0.0)
+        # Long after the port freed: no residual delay.
+        assert nic.inject(0, 100.0) == 101.0
+
+    def test_monotone_departures_per_node(self):
+        nic = NicContention(np.array([0, 0, 0]), service_time=0.5)
+        times = [nic.inject(r, 1.0) for r in (0, 1, 2)]
+        assert times == sorted(times)
+        assert times[2] == pytest.approx(2.5)
+
+    def test_reset(self):
+        nic = NicContention(np.array([0]), service_time=1.0)
+        nic.inject(0, 0.0)
+        nic.reset()
+        assert nic.inject(0, 0.0) == 1.0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NicContention(np.array([0]), service_time=-1.0)
+
+    def test_empty_ranks_ok(self):
+        nic = NicContention(np.array([], dtype=np.int64), service_time=1.0)
+        assert not nic._port_free.size

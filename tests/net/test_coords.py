@@ -1,0 +1,128 @@
+"""Tests for the mixed-radix coordinate space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.net.coords import CoordSpace
+
+DIMS = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=5)
+
+
+class TestConstruction:
+    def test_size(self):
+        s = CoordSpace((2, 3, 4))
+        assert s.size == 24
+        assert s.ndim == 3
+
+    def test_empty_dims(self):
+        with pytest.raises(TopologyError):
+            CoordSpace(())
+
+    def test_zero_dim(self):
+        with pytest.raises(TopologyError):
+            CoordSpace((2, 0, 3))
+
+    def test_wraps_length_mismatch(self):
+        with pytest.raises(TopologyError):
+            CoordSpace((2, 3), wraps=(True,))
+
+    def test_default_no_wrap(self):
+        s = CoordSpace((4, 4))
+        assert s.wraps == (False, False)
+
+
+class TestIdCoordsRoundtrip:
+    @given(DIMS, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, dims, data):
+        s = CoordSpace(tuple(dims))
+        node = data.draw(st.integers(min_value=0, max_value=s.size - 1))
+        coords = s.coords_of(node)
+        assert s.id_of(coords) == node
+
+    def test_row_major_order(self):
+        s = CoordSpace((2, 3))
+        assert s.coords_of(0).tolist() == [0, 0]
+        assert s.coords_of(1).tolist() == [0, 1]
+        assert s.coords_of(3).tolist() == [1, 0]
+
+    def test_coords_of_many(self):
+        s = CoordSpace((2, 3))
+        all_coords = s.coords_of_many(np.arange(6))
+        for node in range(6):
+            assert np.array_equal(all_coords[node], s.coords_of(node))
+
+    def test_out_of_range(self):
+        s = CoordSpace((2, 2))
+        with pytest.raises(TopologyError):
+            s.coords_of(4)
+        with pytest.raises(TopologyError):
+            s.coords_of(-1)
+        with pytest.raises(TopologyError):
+            s.coords_of_many(np.array([0, 5]))
+
+    def test_id_of_bad_shape(self):
+        s = CoordSpace((2, 2))
+        with pytest.raises(TopologyError):
+            s.id_of(np.array([1]))
+
+    def test_id_of_out_of_range(self):
+        s = CoordSpace((2, 2))
+        with pytest.raises(TopologyError):
+            s.id_of(np.array([0, 2]))
+
+
+class TestDistances:
+    def test_no_wrap_manhattan(self):
+        s = CoordSpace((10,))
+        assert s.manhattan(np.array([0]), np.array([9])) == 9
+
+    def test_wrap_manhattan(self):
+        s = CoordSpace((10,), wraps=(True,))
+        assert s.manhattan(np.array([0]), np.array([9])) == 1
+        assert s.manhattan(np.array([0]), np.array([5])) == 5
+
+    def test_mixed_wrap(self):
+        s = CoordSpace((10, 10), wraps=(True, False))
+        d = s.delta(np.array([0, 0]), np.array([9, 9]))
+        assert d.tolist() == [1, 9]
+
+    def test_euclidean(self):
+        s = CoordSpace((10, 10))
+        assert s.euclidean(np.array([0, 0]), np.array([3, 4])) == pytest.approx(5.0)
+
+    def test_euclidean_wrapped(self):
+        s = CoordSpace((10, 10), wraps=(True, True))
+        assert s.euclidean(np.array([0, 0]), np.array([9, 0])) == pytest.approx(1.0)
+
+    @given(DIMS, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_metric_properties(self, dims, data):
+        wraps = tuple(
+            data.draw(st.booleans(), label=f"wrap{k}") for k in range(len(dims))
+        )
+        s = CoordSpace(tuple(dims), wraps=wraps)
+        ids = st.integers(min_value=0, max_value=s.size - 1)
+        a = s.coords_of(data.draw(ids))
+        b = s.coords_of(data.draw(ids))
+        c = s.coords_of(data.draw(ids))
+        # Identity, symmetry, triangle inequality for manhattan.
+        assert s.manhattan(a, a) == 0
+        assert s.manhattan(a, b) == s.manhattan(b, a)
+        assert s.manhattan(a, c) <= s.manhattan(a, b) + s.manhattan(b, c)
+        # Euclidean <= Manhattan always.
+        assert s.euclidean(a, b) <= s.manhattan(a, b) + 1e-12
+
+    def test_delta_matrix_consistent(self):
+        s = CoordSpace((4, 3, 2), wraps=(True, False, True))
+        nodes = np.array([0, 5, 11, 17, 23])
+        coords = s.coords_of_many(nodes)
+        dm = s.delta_matrix(coords)
+        for i in range(len(nodes)):
+            for j in range(len(nodes)):
+                assert np.array_equal(dm[i, j], s.delta(coords[i], coords[j]))

@@ -1,0 +1,205 @@
+"""Tests for topologies (Tofu model in particular)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.net.topology import (
+    FatTreeTopology,
+    FlatTopology,
+    TofuTopology,
+    Torus3D,
+)
+
+ALL_TOPOLOGIES = [
+    TofuTopology((2, 2, 2)),
+    Torus3D((3, 3, 3)),
+    FlatTopology(20),
+    FatTreeTopology(4, 5),
+]
+
+
+@pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=lambda t: t.name)
+class TestTopologyContract:
+    def test_hops_identity(self, topo):
+        for node in range(0, topo.num_nodes, 3):
+            assert topo.hops(node, node) == 0
+
+    def test_hops_symmetry(self, topo):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a, b = rng.integers(0, topo.num_nodes, 2)
+            assert topo.hops(int(a), int(b)) == topo.hops(int(b), int(a))
+
+    def test_hops_positive_off_diagonal(self, topo):
+        assert topo.hops(0, 1) > 0
+
+    def test_euclidean_symmetry(self, topo):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a, b = rng.integers(0, topo.num_nodes, 2)
+            assert topo.euclidean(int(a), int(b)) == pytest.approx(
+                topo.euclidean(int(b), int(a))
+            )
+
+    def test_matrix_matches_scalar(self, topo):
+        nodes = np.arange(min(topo.num_nodes, 12))
+        hm = topo.hops_matrix(nodes)
+        em = topo.euclidean_matrix(nodes)
+        for i in nodes:
+            for j in nodes:
+                assert hm[i, j] == topo.hops(int(i), int(j))
+                assert em[i, j] == pytest.approx(topo.euclidean(int(i), int(j)))
+
+    def test_out_of_range(self, topo):
+        with pytest.raises(TopologyError):
+            topo.hops(0, topo.num_nodes)
+        with pytest.raises(TopologyError):
+            topo.coords(-1)
+
+    def test_coords_all_shape(self, topo):
+        coords = topo.coords_all()
+        assert coords.shape[0] == topo.num_nodes
+
+
+class TestTofu:
+    def test_node_count(self):
+        t = TofuTopology((2, 3, 4))
+        assert t.num_nodes == 2 * 3 * 4 * 12
+
+    def test_bad_grid(self):
+        with pytest.raises(TopologyError):
+            TofuTopology((2, 3))  # type: ignore[arg-type]
+
+    def test_blade_structure(self):
+        t = TofuTopology((2, 2, 2))
+        # 4 nodes per blade, 3 blades per cube.
+        blades: dict = {}
+        for node in range(t.num_nodes):
+            blades.setdefault(t.blade_of(node), []).append(node)
+        assert all(len(v) == t.NODES_PER_BLADE for v in blades.values())
+        assert len(blades) == t.num_nodes // 4
+
+    def test_cube_structure(self):
+        t = TofuTopology((2, 2, 2))
+        cubes: dict = {}
+        for node in range(t.num_nodes):
+            cubes.setdefault(t.cube_of(node), []).append(node)
+        assert all(len(v) == t.NODES_PER_CUBE for v in cubes.values())
+        assert len(cubes) == 8
+
+    def test_same_blade_same_cube(self):
+        t = TofuTopology((2, 2, 2))
+        for a in range(0, t.num_nodes, 7):
+            for b in range(0, t.num_nodes, 5):
+                if t.same_blade(a, b):
+                    assert t.same_cube(a, b)
+
+    def test_torus_wraps_cube_grid(self):
+        t = TofuTopology((4, 4, 4))
+        # Node 0 is in cube (0,0,0); find a node in cube (3,0,0): wrap
+        # distance along x should be 1 cube, not 3.
+        n_far = t.space.id_of(np.array([3, 0, 0, 0, 0, 0]))
+        assert t.hops(0, n_far) == 1
+
+    def test_in_cube_no_wrap(self):
+        t = TofuTopology((2, 2, 2))
+        a = t.space.id_of(np.array([0, 0, 0, 0, 0, 0]))
+        b = t.space.id_of(np.array([0, 0, 0, 1, 2, 1]))
+        assert t.hops(a, b) == 4  # 1 + 2 + 1, no wrap on b
+
+    def test_for_nodes_capacity(self):
+        for n in (1, 8, 12, 13, 100, 1024):
+            t = TofuTopology.for_nodes(n)
+            assert t.num_nodes >= n
+
+    def test_for_nodes_compact(self):
+        t = TofuTopology.for_nodes(96)  # 8 cubes
+        assert t.cube_grid == (2, 2, 2)
+
+    def test_for_nodes_no_overallocation(self):
+        # 86 cubes needed for 1024 nodes: a (4,5,5)=100 box beats (5,5,5).
+        t = TofuTopology.for_nodes(1024)
+        x, y, z = t.cube_grid
+        assert x * y * z < 125
+
+    def test_for_nodes_bad(self):
+        with pytest.raises(TopologyError):
+            TofuTopology.for_nodes(0)
+
+    def test_rack_of(self):
+        t = TofuTopology((16, 2, 2))
+        a = t.space.id_of(np.array([0, 0, 0, 0, 0, 0]))
+        b = t.space.id_of(np.array([7, 0, 0, 0, 0, 0]))
+        c = t.space.id_of(np.array([8, 0, 0, 0, 0, 0]))
+        assert t.rack_of(a) == t.rack_of(b)
+        assert t.rack_of(a) != t.rack_of(c)
+
+
+class TestTorus3D:
+    def test_wraps(self):
+        t = Torus3D((5, 5, 5))
+        assert t.hops(0, 4) == 1  # (0,0,0) -> (0,0,4) wraps
+
+    def test_for_nodes(self):
+        t = Torus3D.for_nodes(100)
+        assert t.num_nodes >= 100
+        assert t.dims == (5, 5, 5)
+
+    def test_bad_dims(self):
+        with pytest.raises(TopologyError):
+            Torus3D((5, 5))  # type: ignore[arg-type]
+
+    def test_for_nodes_bad(self):
+        with pytest.raises(TopologyError):
+            Torus3D.for_nodes(0)
+
+
+class TestFlat:
+    def test_all_pairs_equidistant(self):
+        t = FlatTopology(10)
+        d = t.euclidean_matrix(np.arange(10))
+        off = d[~np.eye(10, dtype=bool)]
+        assert np.all(off == 1.0)
+
+    def test_bad_size(self):
+        with pytest.raises(TopologyError):
+            FlatTopology(0)
+
+
+class TestFatTree:
+    def test_three_level_distances(self):
+        t = FatTreeTopology(3, 4)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 1) == 1  # same group
+        assert t.hops(0, 4) == 3  # across groups
+
+    def test_group_of(self):
+        t = FatTreeTopology(3, 4)
+        assert t.group_of(0) == 0
+        assert t.group_of(11) == 2
+
+    def test_bad_params(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(0, 4)
+
+
+@given(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+    ),
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_tofu_triangle_inequality(grid, data):
+    t = TofuTopology(grid)
+    ids = st.integers(min_value=0, max_value=t.num_nodes - 1)
+    a, b, c = data.draw(ids), data.draw(ids), data.draw(ids)
+    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+    assert t.euclidean(a, c) <= t.euclidean(a, b) + t.euclidean(b, c) + 1e-9

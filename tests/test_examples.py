@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts run end to end at reduced scale."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "8")
+    assert "tofu/half" in out
+    assert "speedup" in out
+
+
+def test_scheduling_latency_trace():
+    out = _run("scheduling_latency_trace.py", "8")
+    assert "Wmax" in out
+    assert "SL(x)" in out
+
+
+def test_topology_placement():
+    out = _run("topology_placement.py", "32")
+    assert "8RR" in out
+    assert "distance-skewed" in out
+
+
+def test_geometric_workload():
+    out = _run("geometric_workload.py", "8")
+    assert "GEO_L" in out
+    assert "efficiency" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "victim_selection_study.py",
+        "topology_placement.py",
+        "granularity_study.py",
+        "scheduling_latency_trace.py",
+        "geometric_workload.py",
+    ],
+)
+def test_examples_compile(script):
+    path = os.path.join(EXAMPLES, script)
+    with open(path) as fh:
+        compile(fh.read(), path, "exec")

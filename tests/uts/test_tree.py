@@ -1,0 +1,226 @@
+"""Tests for child generation: scalar vs vectorised, all tree types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uts.params import GEO_M, GEO_S, HYB_S, TreeParams
+from repro.uts.rng import Sha1Backend, SplitMix64Backend
+from repro.uts.tree import MAX_GEO_CHILDREN, TreeGenerator
+
+
+def _walk_states(gen: TreeGenerator, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Collect ``n`` reachable (state, depth) pairs by BFS from the root."""
+    state, depth = gen.root()
+    states = [state]
+    depths = [depth]
+    frontier = [(state, depth)]
+    while len(states) < n and frontier:
+        s, d = frontier.pop(0)
+        children, cd = gen.children(s, d)
+        for c in children:
+            if len(states) >= n:
+                break
+            states.append(c)
+            depths.append(cd)
+            frontier.append((c, cd))
+    return np.array(states, dtype=np.uint64), np.array(depths, dtype=np.int32)
+
+
+BIN = TreeParams(name="bin", tree_type="binomial", root_seed=3, b0=50, m=3, q=0.3)
+GEO_LIN = TreeParams(
+    name="geo", tree_type="geometric", root_seed=3, b0=3, gen_mx=6, shape="linear"
+)
+GEO_FIX = TreeParams(
+    name="geof", tree_type="geometric", root_seed=4, b0=2, gen_mx=5, shape="fixed"
+)
+GEO_CYC = TreeParams(
+    name="geoc", tree_type="geometric", root_seed=5, b0=3, gen_mx=6, shape="cyclic"
+)
+GEO_EXP = TreeParams(
+    name="geoe", tree_type="geometric", root_seed=6, b0=4, gen_mx=6, shape="expdec"
+)
+HYB = TreeParams(
+    name="hyb",
+    tree_type="hybrid",
+    root_seed=7,
+    b0=3,
+    m=2,
+    q=0.35,
+    gen_mx=6,
+    shape="linear",
+    shift=0.5,
+)
+
+ALL_PARAMS = [BIN, GEO_LIN, GEO_FIX, GEO_CYC, GEO_EXP, HYB]
+
+
+@pytest.mark.parametrize("params", ALL_PARAMS, ids=lambda p: p.name)
+@pytest.mark.parametrize(
+    "backend", [Sha1Backend(), SplitMix64Backend()], ids=lambda b: b.name
+)
+class TestScalarVsVectorised:
+    """The two code paths must agree node-for-node."""
+
+    def test_counts_agree(self, params, backend):
+        gen = TreeGenerator(params, backend)
+        states, depths = _walk_states(gen, 300)
+        vec = gen.count_children_batch(states, depths)
+        for k in range(len(states)):
+            assert vec[k] == gen.count_children(int(states[k]), int(depths[k]))
+
+    def test_children_agree(self, params, backend):
+        gen = TreeGenerator(params, backend)
+        states, depths = _walk_states(gen, 100)
+        cs, cd, counts = gen.children_batch(states, depths)
+        offset = 0
+        for k in range(len(states)):
+            expect, expect_depth = gen.children(int(states[k]), int(depths[k]))
+            got = cs[offset : offset + counts[k]].tolist()
+            assert got == expect
+            if counts[k]:
+                assert np.all(cd[offset : offset + counts[k]] == expect_depth)
+            offset += int(counts[k])
+        assert offset == len(cs)
+
+
+class TestBinomialRules:
+    def test_root_has_b0_children(self):
+        gen = TreeGenerator(BIN)
+        state, depth = gen.root()
+        assert gen.count_children(state, depth) == BIN.b0
+
+    def test_non_root_counts_are_zero_or_m(self):
+        gen = TreeGenerator(BIN)
+        states, depths = _walk_states(gen, 500)
+        counts = gen.count_children_batch(states, depths)
+        non_root = counts[depths > 0]
+        assert set(np.unique(non_root)).issubset({0, BIN.m})
+
+    def test_empirical_q(self):
+        # Fraction of non-root nodes with children ~ q.
+        gen = TreeGenerator(BIN)
+        states, depths = _walk_states(gen, 2000)
+        counts = gen.count_children_batch(states, depths)
+        non_root = counts[depths > 0]
+        frac = float((non_root > 0).mean())
+        assert abs(frac - BIN.q) < 0.08
+
+    def test_batch_root_special_case(self):
+        gen = TreeGenerator(BIN)
+        state, _ = gen.root()
+        counts = gen.count_children_batch(
+            np.array([state], dtype=np.uint64), np.array([0], dtype=np.int32)
+        )
+        assert counts[0] == BIN.b0
+
+
+class TestGeometricRules:
+    @pytest.mark.parametrize(
+        "params", [GEO_LIN, GEO_FIX, GEO_CYC, GEO_EXP], ids=lambda p: p.shape
+    )
+    def test_leaf_at_depth_limit(self, params):
+        gen = TreeGenerator(params)
+        state, _ = gen.root()
+        assert gen.count_children(state, params.gen_mx) == 0
+        assert gen.count_children(state, params.gen_mx + 3) == 0
+
+    def test_counts_capped(self):
+        gen = TreeGenerator(GEO_FIX)
+        states, depths = _walk_states(gen, 1000)
+        counts = gen.count_children_batch(states, depths)
+        assert counts.max() <= MAX_GEO_CHILDREN
+
+    def test_linear_shape_decays(self):
+        gen = TreeGenerator(GEO_LIN)
+        bs = [gen._expected_branching(d) for d in range(GEO_LIN.gen_mx + 1)]
+        assert bs[0] == pytest.approx(GEO_LIN.b0)
+        assert all(b2 <= b1 for b1, b2 in zip(bs, bs[1:]))
+        assert bs[-1] == 0.0
+
+    def test_fixed_shape_constant(self):
+        gen = TreeGenerator(GEO_FIX)
+        for d in range(GEO_FIX.gen_mx):
+            assert gen._expected_branching(d) == pytest.approx(GEO_FIX.b0)
+
+    def test_expdec_shape_decays(self):
+        gen = TreeGenerator(GEO_EXP)
+        bs = [gen._expected_branching(d) for d in range(GEO_EXP.gen_mx)]
+        assert all(b2 < b1 for b1, b2 in zip(bs, bs[1:]))
+
+    def test_cyclic_shape_bounded(self):
+        gen = TreeGenerator(GEO_CYC)
+        for d in range(GEO_CYC.gen_mx * 5 + 2):
+            b = gen._expected_branching(d)
+            assert 0.0 <= b <= GEO_CYC.b0
+
+    def test_empirical_mean_branching(self):
+        # With the fixed shape, mean children per interior-depth node
+        # should approximate b0.
+        gen = TreeGenerator(GEO_FIX)
+        states, depths = _walk_states(gen, 3000)
+        mask = depths < GEO_FIX.gen_mx
+        counts = gen.count_children_batch(states, depths)[mask]
+        assert abs(float(counts.mean()) - GEO_FIX.b0) < 0.5
+
+
+class TestHybridRules:
+    def test_geometric_phase_then_binomial(self):
+        gen = TreeGenerator(HYB)
+        states, depths = _walk_states(gen, 2000)
+        counts = gen.count_children_batch(states, depths)
+        switch = HYB.shift * HYB.gen_mx
+        bin_phase = counts[(depths >= switch) & (depths > 0)]
+        assert set(np.unique(bin_phase)).issubset({0, HYB.m})
+
+    def test_named_hybrid_generates(self):
+        gen = TreeGenerator(HYB_S)
+        state, depth = gen.root()
+        children, _ = gen.children(state, depth)
+        assert len(children) >= 0  # total function, no crash
+
+
+class TestBatchMechanics:
+    def test_empty_batch(self):
+        gen = TreeGenerator(BIN)
+        cs, cd, counts = gen.children_batch(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int32)
+        )
+        assert len(cs) == 0 and len(cd) == 0 and len(counts) == 0
+
+    def test_all_leaves_batch(self):
+        gen = TreeGenerator(GEO_LIN)
+        states = np.arange(10, dtype=np.uint64)
+        depths = np.full(10, GEO_LIN.gen_mx, dtype=np.int32)
+        cs, cd, counts = gen.children_batch(states, depths)
+        assert len(cs) == 0
+        assert counts.sum() == 0
+
+    def test_child_depths_increment(self):
+        gen = TreeGenerator(BIN)
+        states, depths = _walk_states(gen, 50)
+        cs, cd, counts = gen.children_batch(states, depths)
+        expected = np.repeat(depths + 1, counts)
+        assert np.array_equal(cd, expected)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_across_instances(self, seed):
+        p = TreeParams(name="h", tree_type="binomial", root_seed=seed, b0=10, q=0.4)
+        g1, g2 = TreeGenerator(p), TreeGenerator(p)
+        s1, d1 = g1.root()
+        s2, d2 = g2.root()
+        assert (s1, d1) == (s2, d2)
+        assert g1.children(s1, d1) == g2.children(s2, d2)
+
+
+def test_named_geo_trees_have_positive_size():
+    for p in (GEO_S, GEO_M):
+        gen = TreeGenerator(p)
+        state, depth = gen.root()
+        # The root of a geometric tree may legitimately have 0 children,
+        # but for the named trees we picked seeds where it does not.
+        assert gen.count_children(state, depth) > 0

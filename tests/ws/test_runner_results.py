@@ -1,0 +1,121 @@
+"""Tests for the public run API and result refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import WorkStealingConfig
+from repro.errors import ReproError
+from repro.uts.params import T3XS
+from repro.uts.sequential import sequential_count
+from repro.ws import RunResult, run_uts, sequential_baseline
+
+SEQ = sequential_count(T3XS)
+
+
+class TestRunApi:
+    def test_kwargs_form(self):
+        r = run_uts(tree=T3XS, nranks=4)
+        assert isinstance(r, RunResult)
+        assert r.total_nodes == SEQ.total_nodes
+
+    def test_config_form(self):
+        cfg = WorkStealingConfig(tree=T3XS, nranks=4, selector="rand")
+        r = run_uts(cfg)
+        assert r.selector == "rand"
+
+    def test_mixing_forms_rejected(self):
+        cfg = WorkStealingConfig(tree=T3XS, nranks=4)
+        with pytest.raises(TypeError):
+            run_uts(cfg, nranks=8)
+
+    def test_missing_args_rejected(self):
+        with pytest.raises(TypeError):
+            run_uts(tree=T3XS)
+
+    def test_custom_baseline(self):
+        r = run_uts(tree=T3XS, nranks=4, baseline_time=1.0)
+        assert r.baseline_time == 1.0
+        assert r.speedup == pytest.approx(1.0 / r.total_time)
+
+
+class TestSequentialBaseline:
+    def test_matches_node_count(self):
+        t1 = sequential_baseline(T3XS, node_time=1e-6)
+        assert t1 == pytest.approx(SEQ.total_nodes * 1e-6)
+
+    def test_scales_with_granularity(self):
+        assert sequential_baseline(T3XS, compute_rounds=4) == pytest.approx(
+            4 * sequential_baseline(T3XS)
+        )
+
+    def test_close_to_actual_single_rank_run(self):
+        r = run_uts(tree=T3XS, nranks=1)
+        t1 = sequential_baseline(T3XS)
+        assert r.total_time == pytest.approx(t1, rel=0.01)
+
+
+class TestRunResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_uts(tree=T3XS, nranks=8, selector="rand", trace=True)
+
+    def test_headline_metrics(self, result):
+        assert result.speedup > 1.0
+        assert 0.0 < result.efficiency <= 1.2
+        assert result.nodes_per_second > 0
+
+    def test_default_baseline_is_extrapolation(self, result):
+        assert result.baseline_time == pytest.approx(
+            result.total_nodes * 1e-6
+        )
+
+    def test_steal_accounting(self, result):
+        assert result.successful_steals > 0
+        assert result.nodes_stolen > 0
+        assert (
+            result.failed_steals + result.successful_steals
+            <= result.steal_requests
+        )
+
+    def test_per_rank_arrays(self, result):
+        assert result.per_rank_nodes.shape == (8,)
+        assert result.per_rank_nodes.sum() == result.total_nodes
+        assert result.per_rank_search_time.shape == (8,)
+        assert result.mean_search_time == pytest.approx(
+            result.per_rank_search_time.mean()
+        )
+
+    def test_sessions(self, result):
+        assert result.sessions.count >= 7
+        assert result.mean_session_duration >= 0.0
+
+    def test_occupancy_and_profile(self, result):
+        curve = result.occupancy_curve()
+        assert 0 < curve.max_workers <= 8
+        profile = result.latency_profile()
+        assert profile.occupancies.shape == profile.starting.shape
+        # Profile is cached.
+        assert result.latency_profile() is profile
+        custom = result.latency_profile(np.array([0.5]))
+        assert custom.occupancies.tolist() == [0.5]
+
+    def test_summary_contains_label(self, result):
+        assert "rand/one" in result.summary()
+
+    def test_untraced_run_has_no_profile(self):
+        r = run_uts(tree=T3XS, nranks=4)
+        assert r.trace is None
+        with pytest.raises(ReproError):
+            r.occupancy_curve()
+        with pytest.raises(ReproError):
+            r.latency_profile()
+
+    def test_skew_corrected_trace_valid(self):
+        r = run_uts(
+            tree=T3XS, nranks=8, trace=True, clock_skew_std=1e-4, seed=3
+        )
+        # The corrected trace must fit within the run and validate.
+        curve = r.occupancy_curve()
+        assert curve.max_workers >= 1
