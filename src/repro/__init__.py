@@ -25,8 +25,17 @@ Quickstart::
     result = run_uts(tree=T3S, nranks=64, selector="tofu",
                      steal_policy="half")
     print(result.summary())
+
+Batch runs go through the parallel executor (:mod:`repro.exec`)::
+
+    from repro import run_many, WorkStealingConfig
+
+    configs = [WorkStealingConfig(tree=T3S, nranks=n, selector="tofu")
+               for n in (8, 16, 32, 64)]
+    results = run_many(configs, jobs=4)
 """
 
+from repro._version import __version__
 from repro.core.config import WorkStealingConfig
 from repro.uts.params import (
     T3L,
@@ -43,12 +52,15 @@ from repro.uts.params import (
 from repro.ws.results import RunResult
 from repro.ws.runner import run_uts, sequential_baseline
 
-__version__ = "1.0.0"
+# Imported last: repro.exec reads repro._version and the registries the
+# imports above populate.
+from repro.exec import run_many  # noqa: E402  (intentional ordering)
 
 __all__ = [
     "WorkStealingConfig",
     "RunResult",
     "run_uts",
+    "run_many",
     "sequential_baseline",
     "TreeParams",
     "TREES",

@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+Kept in a leaf module (no repro imports) so subsystems that key on the
+version — notably the :mod:`repro.exec` result cache, which invalidates
+on version bumps — can read it without importing the full package.
+"""
+
+__version__ = "1.1.0"

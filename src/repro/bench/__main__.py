@@ -3,11 +3,15 @@
 Usage::
 
     python -m repro.bench table1
-    python -m repro.bench fig11
+    python -m repro.bench fig11 --jobs 4
+    python -m repro.bench --only fig02 --jobs 2
     python -m repro.bench --list
 
 Runs the same code paths as ``pytest benchmarks/`` (shapes asserted
-there; here the series are just computed and printed).
+there; here the series are just computed and printed).  ``--jobs N``
+runs each experiment's sweep on N worker processes; results are cached
+on disk under ``benchmarks/_cache/`` (disable with ``--no-cache``) so
+re-running an experiment is instant.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+
+from repro.bench import experiments
 
 #: experiment id -> (benchmarks module, series builder, description).
 #: The ``benchmarks`` package must be importable (run from the repo root).
@@ -44,19 +50,44 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate one of the paper's tables/figures.",
     )
     parser.add_argument("experiment", nargs="?", help="experiment id (e.g. fig11)")
+    parser.add_argument(
+        "--only", metavar="ID", help="experiment id (alias for the positional form)"
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment's sweep (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (benchmarks/_cache/)",
+    )
     args = parser.parse_args(argv)
 
-    if args.list or not args.experiment:
+    experiment = args.only or args.experiment
+    if args.only and args.experiment and args.only != args.experiment:
+        print("give the experiment id once (positional or --only)", file=sys.stderr)
+        return 2
+
+    if args.list or not experiment:
         for key, (_, _, desc) in _EXPERIMENTS.items():
             print(f"  {key:8s} {desc}")
         return 0
 
     try:
-        module_name, fn_name, desc = _EXPERIMENTS[args.experiment]
+        module_name, fn_name, desc = _EXPERIMENTS[experiment]
     except KeyError:
-        print(f"unknown experiment {args.experiment!r}; try --list", file=sys.stderr)
+        print(f"unknown experiment {experiment!r}; try --list", file=sys.stderr)
         return 2
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    experiments.configure(jobs=args.jobs, cache=not args.no_cache)
 
     module = importlib.import_module(f"benchmarks.{module_name}")
     print(f"running {desc} ...", file=sys.stderr)

@@ -14,21 +14,27 @@ The paper ran on 1024—8192 K Computer nodes with trees of 2.8e9 and
 * a NIC serialisation cost of 0.1 µs/message models the shared
   per-node injection path that penalised 8-processes-per-node runs.
 
-:func:`cached_run` memoises simulations by config signature: the
+:func:`cached_run` memoises simulations by config fingerprint: the
 benchmark suite's figures share sweeps (Fig 3's runs are also Fig 7's,
 Fig 9's also Fig 10's, ...), so each distinct simulation runs once per
-process.
+process.  :func:`configure` layers the :mod:`repro.exec` machinery on
+top: worker processes for batch runs (:func:`run_configs`) and the
+on-disk result cache, both wired to the CLI's ``--jobs`` /
+``--no-cache`` flags.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.core.config import WorkStealingConfig
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import fingerprint_dict
+from repro.exec.pool import run_many
 from repro.net.latency import HierarchicalLatency
 from repro.uts.params import TreeParams, tree_by_name
 from repro.ws.results import RunResult
-from repro.ws.runner import run_uts
 
 __all__ = [
     "Calibration",
@@ -36,7 +42,9 @@ __all__ = [
     "SMALL_LADDER",
     "LARGE_LADDER",
     "experiment_config",
+    "configure",
     "cached_run",
+    "run_configs",
     "clear_cache",
 ]
 
@@ -106,62 +114,126 @@ def experiment_config(
     return WorkStealingConfig(**kwargs)
 
 
-_CACHE: dict[tuple, RunResult] = {}
+#: In-process memo: fingerprint -> result (shared across all figures).
+_MEMO: dict[str, RunResult] = {}
+#: Default worker count for batch runs (1 = serial, None = cpu_count).
+_JOBS: int | None = 1
+#: Optional on-disk cache shared by cached_run / run_configs.
+_DISK: ResultCache | None = None
+
+#: configure() sentinel: "leave this setting unchanged".
+_UNSET = object()
 
 
-def _signature(cfg: WorkStealingConfig) -> tuple:
-    assert not isinstance(cfg.allocation, str)
-    assert not isinstance(cfg.selector, str)
-    assert not isinstance(cfg.steal_policy, str)
-    assert not isinstance(cfg.rng_backend, str)
-    lat = cfg.latency_model
-    lat_sig = (type(lat).__name__,) + tuple(
-        sorted((k, v) for k, v in vars(lat).items() if isinstance(v, float))
-    )
-    return (
-        cfg.tree.name,
-        cfg.nranks,
-        cfg.allocation.name,
-        cfg.selector.name,
-        cfg.steal_policy.name,
-        lat_sig,
-        cfg.chunk_size,
-        cfg.poll_interval,
-        cfg.node_time,
-        cfg.compute_rounds,
-        cfg.steal_service_time,
-        cfg.transfer_time_per_node,
-        cfg.nic_service_time,
-        cfg.clock_skew_std,
-        cfg.rng_backend.name,
-        cfg.seed,
-        cfg.trace,
-        cfg.lifelines,
-        cfg.lifeline_threshold,
-    )
+def configure(jobs: int | None = _UNSET, cache=_UNSET) -> None:
+    """Set the harness-wide execution knobs (the CLI's flags).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for batch runs: ``1`` serial (the default),
+        ``None`` for ``os.cpu_count()``, or an explicit count.
+    cache:
+        On-disk result cache: ``True`` for the default
+        ``benchmarks/_cache/``, a path or
+        :class:`~repro.exec.cache.ResultCache`, or ``None``/``False``
+        to disable (the default — pytest runs stay self-contained).
+    """
+    global _JOBS, _DISK
+    if jobs is not _UNSET:
+        _JOBS = jobs
+    if cache is not _UNSET:
+        if cache is True:
+            _DISK = ResultCache()
+        elif cache is None or cache is False:
+            _DISK = None
+        elif isinstance(cache, ResultCache):
+            _DISK = cache
+        else:
+            _DISK = ResultCache(cache)
 
 
-def cached_run(cfg: WorkStealingConfig) -> RunResult:
-    """Run a config, memoised on its full signature.
+def _lookup(data: dict, fingerprint: str) -> RunResult | None:
+    """Memo/disk lookup with traced-run subsumption.
 
     Traced runs subsume untraced ones: if a traced result for the same
     physics exists, an untraced request returns it (the trace only adds
     data, it never changes timing).
     """
-    sig = _signature(cfg)
-    if sig in _CACHE:
-        return _CACHE[sig]
-    if not cfg.trace:
-        traced_sig = sig[:-3] + (True,) + sig[-2:]
-        if traced_sig in _CACHE:
-            return _CACHE[traced_sig]
-    result = run_uts(cfg)
-    _CACHE[sig] = result
-    return result
+    hit = _MEMO.get(fingerprint)
+    if hit is not None:
+        return hit
+    traced_fp = None
+    if not data["trace"]:
+        traced_fp = fingerprint_dict({**data, "trace": True})
+        hit = _MEMO.get(traced_fp)
+        if hit is not None:
+            return hit
+    if _DISK is not None:
+        hit = _DISK.get(fingerprint)
+        if hit is not None:
+            _MEMO[fingerprint] = hit
+            return hit
+        if traced_fp is not None:
+            hit = _DISK.get(traced_fp)
+            if hit is not None:
+                _MEMO[traced_fp] = hit
+                return hit
+    return None
+
+
+def cached_run(cfg: WorkStealingConfig) -> RunResult:
+    """Run a config, memoised on its fingerprint (single-run form)."""
+    return run_configs([cfg])[0]
+
+
+def run_configs(
+    configs: Sequence[WorkStealingConfig] | Iterable[WorkStealingConfig],
+    jobs: int | None = None,
+) -> list[RunResult]:
+    """Run many configs through the memo + executor, in input order.
+
+    Cache hits (in-process memo, then on-disk cache when enabled)
+    never touch the simulator; the remainder goes to
+    :func:`repro.exec.run_many` with ``jobs`` workers (defaulting to
+    the :func:`configure` setting).
+    """
+    configs = list(configs)
+    dicts = [cfg.to_dict() for cfg in configs]
+    fingerprints = [fingerprint_dict(d) for d in dicts]
+
+    results: list[RunResult | None] = [None] * len(configs)
+    pending: list[int] = []
+    pending_fps: set[str] = set()
+    for i, (data, fp) in enumerate(zip(dicts, fingerprints)):
+        hit = _lookup(data, fp)
+        if hit is not None:
+            results[i] = hit
+        elif fp not in pending_fps:
+            pending.append(i)
+            pending_fps.add(fp)
+
+    if pending:
+        fresh = run_many(
+            [configs[i] for i in pending],
+            jobs=jobs if jobs is not None else _JOBS,
+            cache=_DISK,
+        )
+        for i, result in zip(pending, fresh):
+            _MEMO[fingerprints[i]] = result
+    # Second pass: fill every slot (duplicates resolve via the memo).
+    for i, (data, fp) in enumerate(zip(dicts, fingerprints)):
+        if results[i] is None:
+            results[i] = _lookup(data, fp)
+    return results  # type: ignore[return-value]
 
 
 def clear_cache() -> int:
-    """Drop all memoised results; returns how many were held."""
-    n = len(_CACHE)
-    _CACHE.clear()
+    """Drop all in-process memoised results; returns how many were held.
+
+    The on-disk cache (when configured) is left untouched; use
+    ``ResultCache.clear()`` for that.
+    """
+    n = len(_MEMO)
+    _MEMO.clear()
     return n

@@ -1,10 +1,22 @@
-"""Parameter sweeps over the experiment space."""
+"""Parameter sweeps over the experiment space.
+
+Sweeps are the batch workload of the repo: every figure is a grid of
+independent runs.  They are built as config lists and executed through
+:func:`repro.bench.experiments.run_configs`, which layers the
+in-process memo, the optional on-disk cache and the
+:mod:`repro.exec` worker pool (``--jobs``) under one roof.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable
 
-from repro.bench.experiments import CALIBRATION, Calibration, cached_run, experiment_config
+from repro.bench.experiments import (
+    CALIBRATION,
+    Calibration,
+    experiment_config,
+    run_configs,
+)
 from repro.uts.params import TreeParams
 from repro.ws.results import RunResult
 
@@ -18,24 +30,32 @@ def sweep(
     selector: str = "reference",
     steal_policy: str = "one",
     calibration: Calibration = CALIBRATION,
+    jobs: int | None = None,
     **overrides,
 ) -> dict[tuple[int, str], RunResult]:
     """Run ``selector/steal_policy`` over ``ladder x allocations``.
 
     Returns ``{(nranks, allocation): RunResult}``; results come from
-    the shared memo cache, so overlapping sweeps are free.
+    the shared memo cache, so overlapping sweeps are free.  The grid
+    is executed as one batch: with ``jobs`` (or the harness-wide
+    :func:`~repro.bench.experiments.configure` setting) above 1, its
+    points run on worker processes in parallel.
     """
-    results: dict[tuple[int, str], RunResult] = {}
+    keys: list[tuple[int, str]] = []
+    configs = []
     for nranks in ladder:
         for allocation in allocations:
-            cfg = experiment_config(
-                tree,
-                nranks,
-                allocation=allocation,
-                selector=selector,
-                steal_policy=steal_policy,
-                calibration=calibration,
-                **overrides,
+            keys.append((nranks, allocation))
+            configs.append(
+                experiment_config(
+                    tree,
+                    nranks,
+                    allocation=allocation,
+                    selector=selector,
+                    steal_policy=steal_policy,
+                    calibration=calibration,
+                    **overrides,
+                )
             )
-            results[(nranks, allocation)] = cached_run(cfg)
-    return results
+    results = run_configs(configs, jobs=jobs)
+    return dict(zip(keys, results))

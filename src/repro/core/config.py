@@ -30,16 +30,19 @@ Timing constants and their paper anchors:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
 from typing import Callable
 
+from repro.core import registry
 from repro.core.steal_policy import StealPolicy, policy_by_name
 from repro.core.victim import SelectorFactory, selector_by_name
 from repro.errors import ConfigurationError
 from repro.net.allocation import ProcessAllocation, allocation_by_name
-from repro.net.latency import KComputerLatency, LatencyModel
+from repro.net.latency import KComputerLatency, LatencyModel, latency_model_from_spec
 from repro.net.topology import Topology
-from repro.uts.params import TreeParams
+from repro.uts.params import TreeParams, tree_by_name
 from repro.uts.rng import RngBackend, backend_by_name
 
 __all__ = ["WorkStealingConfig"]
@@ -60,7 +63,11 @@ class WorkStealingConfig:
     selector: SelectorFactory | str = "reference"
     steal_policy: StealPolicy | str = "one"
     latency_model: LatencyModel | None = None
-    topology_factory: Callable[[int], Topology] | None = None
+    #: ``f(n_nodes) -> Topology``; a registered name (``"tofu"``,
+    #: ``"torus3d"``, ``"flat"``) is kept as the string so the config
+    #: stays serializable — :func:`repro.net.allocation.build_placement`
+    #: resolves it.  ``None`` means the Tofu default.
+    topology_factory: Callable[[int], Topology] | str | None = None
 
     chunk_size: int = 20
     poll_interval: int = 10
@@ -124,7 +131,9 @@ class WorkStealingConfig:
             raise ConfigurationError(
                 f"lifeline_threshold must be >= 1, got {self.lifeline_threshold}"
             )
-        # Resolve string shorthands once.
+        # Resolve string shorthands once; resolution is idempotent so
+        # derived configs (replace, from_dict) re-validate cleanly with
+        # already-resolved strategy objects.
         if isinstance(self.allocation, str):
             self.allocation = allocation_by_name(self.allocation)
         if isinstance(self.selector, str):
@@ -133,8 +142,14 @@ class WorkStealingConfig:
             self.steal_policy = policy_by_name(self.steal_policy)
         if isinstance(self.rng_backend, str):
             self.rng_backend = backend_by_name(self.rng_backend)
+        if isinstance(self.latency_model, (str, dict)):
+            self.latency_model = latency_model_from_spec(self.latency_model)
         if self.latency_model is None:
             self.latency_model = KComputerLatency()
+        if isinstance(self.topology_factory, str):
+            # Validate eagerly but keep the name: a named topology
+            # factory stays serializable, build_placement resolves it.
+            registry.resolve("topology", self.topology_factory)
 
     # ------------------------------------------------------------------
 
@@ -144,19 +159,164 @@ class WorkStealingConfig:
         return self.node_time * self.compute_rounds
 
     def label(self) -> str:
-        """Short human-readable description, e.g. ``tofu/half 8G x128``."""
-        assert not isinstance(self.selector, str)
-        assert not isinstance(self.steal_policy, str)
-        assert not isinstance(self.allocation, str)
+        """Short human-readable description, e.g. ``tofu/half 8G x128``.
+
+        ``__post_init__`` guarantees every strategy field is resolved,
+        so the ``.name`` attributes are always present (no ``assert``
+        narrowing — asserts vanish under ``python -O``).
+        """
         return (
-            f"{self.selector.name}/{self.steal_policy.name} "
-            f"{self.allocation.name} x{self.nranks} [{self.tree.name}]"
+            f"{self._strategy_name('selector')}/"
+            f"{self._strategy_name('steal_policy')} "
+            f"{self._strategy_name('allocation')} "
+            f"x{self.nranks} [{self.tree.name}]"
         )
 
-    def replace(self, **overrides) -> "WorkStealingConfig":
-        """Derived config with some fields replaced (sweep helper)."""
-        from dataclasses import fields as dc_fields
+    def _strategy_name(self, field_name: str) -> str:
+        """``.name`` of a resolved strategy field, with a real error."""
+        value = getattr(self, field_name)
+        name = getattr(value, "name", None)
+        if not isinstance(name, str):
+            raise ConfigurationError(
+                f"{field_name} {value!r} has no usable .name "
+                "(was the config constructed without __post_init__?)"
+            )
+        return name
 
-        kwargs = {f.name: getattr(self, f.name) for f in dc_fields(self)}
+    def replace(self, **overrides) -> "WorkStealingConfig":
+        """Derived config with some fields replaced (sweep helper).
+
+        The derived config goes through ``__post_init__`` again, which
+        re-validates every field; already-resolved strategy objects
+        pass through untouched (resolution only applies to strings),
+        and overrides may themselves be string shorthands.
+        """
+        unknown = set(overrides) - {f.name for f in fields(self)}
+        if unknown:
+            raise ConfigurationError(
+                f"replace() got unknown config fields: {sorted(unknown)}"
+            )
+        kwargs = {f.name: getattr(self, f.name) for f in fields(self)}
         kwargs.update(overrides)
         return WorkStealingConfig(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialization (the repro.exec contract)
+    # ------------------------------------------------------------------
+
+    #: Registry kind backing each strategy field's string shorthand.
+    _SPEC_FIELDS = {
+        "allocation": "allocation",
+        "selector": "selector",
+        "steal_policy": "steal_policy",
+        "rng_backend": "rng_backend",
+    }
+
+    def _spec_of(self, field_name: str, kind: str) -> str:
+        """Name-addressable spec of a strategy field.
+
+        The spec is the object's ``name``, verified to resolve back to
+        an object with the same name — otherwise the config cannot be
+        shipped to workers or cached, and we say so eagerly.
+        """
+        name = self._strategy_name(field_name)
+        try:
+            resolved = registry.resolve(kind, name)
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"{field_name} {name!r} is not name-addressable: "
+                f"register it with repro.core.registry.register"
+                f"({kind!r}, {name!r}, ...) to make the config "
+                "serializable"
+            ) from None
+        if getattr(resolved, "name", None) != name:
+            raise ConfigurationError(
+                f"{field_name} {name!r} does not round-trip "
+                f"(resolves to {getattr(resolved, 'name', None)!r})"
+            )
+        return name
+
+    def _topology_spec(self) -> str | None:
+        if self.topology_factory is None or isinstance(self.topology_factory, str):
+            return self.topology_factory
+        for name in registry.available("topology"):
+            if registry.resolve("topology", name) == self.topology_factory:
+                return name
+        raise ConfigurationError(
+            "topology_factory is not name-addressable: pass a registered "
+            f"topology name {registry.available('topology')} (or register "
+            "the factory with repro.core.registry) to make the config "
+            "serializable"
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data description of the run; see :meth:`from_dict`.
+
+        Every value is a JSON-serializable primitive: strategies are
+        stored as their registry spec strings, the tree and latency
+        model as parameter dicts.  Raises
+        :class:`~repro.errors.ConfigurationError` if any field is not
+        name-addressable (unregistered custom strategy objects).
+        """
+        return {
+            "tree": asdict(self.tree),
+            "nranks": self.nranks,
+            "allocation": self._spec_of("allocation", "allocation"),
+            "selector": self._spec_of("selector", "selector"),
+            "steal_policy": self._spec_of("steal_policy", "steal_policy"),
+            "latency_model": self.latency_model.to_spec(),
+            "topology_factory": self._topology_spec(),
+            "chunk_size": self.chunk_size,
+            "poll_interval": self.poll_interval,
+            "node_time": self.node_time,
+            "compute_rounds": self.compute_rounds,
+            "steal_service_time": self.steal_service_time,
+            "transfer_time_per_node": self.transfer_time_per_node,
+            "nic_service_time": self.nic_service_time,
+            "clock_skew_std": self.clock_skew_std,
+            "rng_backend": self._spec_of("rng_backend", "rng_backend"),
+            "seed": self.seed,
+            "trace": self.trace,
+            "node_cap": self.node_cap,
+            "lifelines": self.lifelines,
+            "lifeline_threshold": self.lifeline_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkStealingConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        ``tree`` may be a parameter dict or a registered tree name;
+        unknown keys raise :class:`ConfigurationError`.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"config data must be a dict, got {type(data).__name__}"
+            )
+        kwargs = dict(data)
+        tree = kwargs.pop("tree", None)
+        if tree is None:
+            raise ConfigurationError("config dict is missing 'tree'")
+        if isinstance(tree, str):
+            tree = tree_by_name(tree)
+        elif isinstance(tree, dict):
+            tree = TreeParams(**tree)
+        unknown = set(kwargs) - {f.name for f in fields(cls) if f.name != "tree"}
+        if unknown:
+            raise ConfigurationError(
+                f"config dict has unknown fields: {sorted(unknown)}"
+            )
+        return cls(tree=tree, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the run configuration.
+
+        SHA-256 over the canonical (sorted-key, compact) JSON encoding
+        of :meth:`to_dict`.  Two configs share a fingerprint iff they
+        describe the same simulation — this is the key of the
+        :mod:`repro.exec` result cache and batch deduplication.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+from repro.core.registry import registry_for
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -90,18 +91,25 @@ class StealFraction(StealPolicy):
         return max(1, int(stealable * self.fraction))
 
 
+def _parse_fraction(name: str) -> StealPolicy | None:
+    if not (name.startswith("frac[") and name.endswith("]")):
+        return None
+    try:
+        fraction = float(name[5:-1])
+    except ValueError:
+        raise ConfigurationError(f"bad fraction in {name!r}") from None
+    return StealFraction(fraction)
+
+
+_POLICIES = registry_for("steal_policy")
+_POLICIES.register("one", StealOne)
+_POLICIES.register("half", StealHalf)
+_POLICIES.register_pattern("frac[<fraction>]", _parse_fraction)
+
+
 def policy_by_name(name: str) -> StealPolicy:
-    """Instantiate a steal policy from a config string."""
-    if name == "one":
-        return StealOne()
-    if name == "half":
-        return StealHalf()
-    if name.startswith("frac[") and name.endswith("]"):
-        try:
-            fraction = float(name[5:-1])
-        except ValueError:
-            raise ConfigurationError(f"bad fraction in {name!r}") from None
-        return StealFraction(fraction)
-    raise ConfigurationError(
-        f"unknown steal policy {name!r}; known: 'one', 'half', 'frac[<f>]'"
-    )
+    """Instantiate a steal policy from a config string.
+
+    Thin wrapper over ``registry.resolve("steal_policy", name)``.
+    """
+    return _POLICIES.resolve(name)  # type: ignore[return-value]

@@ -36,6 +36,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core.registry import registry_for
 from repro.errors import ConfigurationError
 from repro.net.allocation import Placement
 
@@ -374,50 +375,52 @@ class LastVictimSelector(SelectorFactory):
         return _LastVictimState(_UniformState(rank, nranks, _rank_rng(seed, rank)))
 
 
-_SELECTORS: dict[str, type[SelectorFactory] | SelectorFactory] = {}
+def _parse_skew(name: str) -> SelectorFactory | None:
+    if not (name.startswith("skew[") and name.endswith("]")):
+        return None
+    try:
+        alpha = float(name[5:-1])
+    except ValueError:
+        raise ConfigurationError(f"bad skew exponent in {name!r}") from None
+    return PowerSkewedSelector(alpha)
 
 
-def _register(factory_cls, *aliases: str) -> None:
-    for alias in aliases:
-        _SELECTORS[alias] = factory_cls
+def _parse_hier(name: str) -> SelectorFactory | None:
+    if not (name.startswith("hier[") and name.endswith("]")):
+        return None
+    try:
+        p_near = float(name[5:-1])
+    except ValueError:
+        raise ConfigurationError(f"bad hier probability in {name!r}") from None
+    return HierarchicalSelector(p_near)
 
 
-_register(RoundRobinSelector, "reference", "round_robin", "rr")
-_register(UniformRandomSelector, "rand", "random", "uniform")
-_register(DistanceSkewedSelector, "tofu", "distance", "skewed")
-_register(HierarchicalSelector, "hierarchical")
-_register(LastVictimSelector, "lastvictim")
+def _parse_latskew(name: str) -> SelectorFactory | None:
+    if not (name.startswith("latskew[") and name.endswith("]")):
+        return None
+    try:
+        alpha = float(name[8:-1])
+    except ValueError:
+        raise ConfigurationError(f"bad latskew exponent in {name!r}") from None
+    return LatencySkewedSelector(alpha)
+
+
+_SELECTORS = registry_for("selector")
+_SELECTORS.register("reference", RoundRobinSelector, "round_robin", "rr")
+_SELECTORS.register("rand", UniformRandomSelector, "random", "uniform")
+_SELECTORS.register("tofu", DistanceSkewedSelector, "distance", "skewed")
+_SELECTORS.register("hierarchical", HierarchicalSelector)
+_SELECTORS.register("lastvictim", LastVictimSelector)
+_SELECTORS.register_pattern("skew[<alpha>]", _parse_skew)
+_SELECTORS.register_pattern("hier[<p_near>]", _parse_hier)
+_SELECTORS.register_pattern("latskew[<alpha>]", _parse_latskew)
 
 
 def selector_by_name(name: str) -> SelectorFactory:
     """Instantiate a selector factory from a config string.
 
-    Accepts the registered aliases plus ``"skew[<alpha>]"`` for
-    arbitrary-exponent power skews.
+    Accepts the registered aliases plus ``"skew[<alpha>]"``,
+    ``"hier[<p>]"`` and ``"latskew[<alpha>]"`` parameterised forms;
+    thin wrapper over ``registry.resolve("selector", name)``.
     """
-    if name.startswith("skew[") and name.endswith("]"):
-        try:
-            alpha = float(name[5:-1])
-        except ValueError:
-            raise ConfigurationError(f"bad skew exponent in {name!r}") from None
-        return PowerSkewedSelector(alpha)
-    if name.startswith("hier[") and name.endswith("]"):
-        try:
-            p_near = float(name[5:-1])
-        except ValueError:
-            raise ConfigurationError(f"bad hier probability in {name!r}") from None
-        return HierarchicalSelector(p_near)
-    if name.startswith("latskew[") and name.endswith("]"):
-        try:
-            alpha = float(name[8:-1])
-        except ValueError:
-            raise ConfigurationError(f"bad latskew exponent in {name!r}") from None
-        return LatencySkewedSelector(alpha)
-    try:
-        cls = _SELECTORS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown selector {name!r}; known: {sorted(_SELECTORS)} "
-            "plus 'skew[<alpha>]' and 'hier[<p>]'"
-        ) from None
-    return cls()  # type: ignore[operator]
+    return _SELECTORS.resolve(name)  # type: ignore[return-value]

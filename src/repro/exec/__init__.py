@@ -1,0 +1,37 @@
+"""repro.exec — parallel experiment execution with result caching.
+
+The executor subsystem turns the one-run API
+(:func:`repro.ws.runner.run_uts`) into a batch engine:
+
+* :func:`config_fingerprint` / ``WorkStealingConfig.fingerprint()`` —
+  stable content hashes of run configurations (every strategy object
+  is name-addressable via :mod:`repro.core.registry`, so configs
+  round-trip through plain dicts);
+* :class:`ResultCache` — an on-disk JSON store of
+  :class:`~repro.ws.results.RunResult`\\ s keyed by fingerprint, under
+  ``benchmarks/_cache/<version>/``;
+* :func:`run_many` — a ``ProcessPoolExecutor`` batch runner with
+  deduplication, cache integration and progress callbacks, whose
+  results are bit-identical to the serial path.
+
+Typical use::
+
+    from repro import run_many
+    from repro.exec import ResultCache
+
+    results = run_many(configs, jobs=4, cache=True)
+"""
+
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exec.fingerprint import canonical_json, config_fingerprint, fingerprint_dict
+from repro.exec.pool import RunProgress, run_many
+
+__all__ = [
+    "run_many",
+    "RunProgress",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "config_fingerprint",
+    "fingerprint_dict",
+    "canonical_json",
+]

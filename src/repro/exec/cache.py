@@ -1,0 +1,140 @@
+"""On-disk JSON result cache keyed by config fingerprint.
+
+Layout (see DESIGN.md, "repro.exec")::
+
+    benchmarks/_cache/
+        <__version__>/
+            <fingerprint>.json    one cached RunResult + provenance
+
+Each entry stores the package version, the fingerprint, the config
+dict it hashes to, the serialized :class:`~repro.ws.results.RunResult`
+and the wall-clock seconds the original simulation took.  Results live
+under a per-version directory, so bumping ``repro.__version__``
+invalidates every cached point without touching fingerprints; stale
+version directories can simply be deleted.
+
+Writes are atomic (temp file + ``os.replace``) so a parallel sweep
+interrupted mid-write never leaves a truncated entry; corrupt or
+unreadable entries read as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro._version import __version__
+from repro.ws.results import RunResult
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache root, relative to the working directory (the repo
+#: root for `python -m repro.bench`); override with the
+#: ``REPRO_CACHE_DIR`` environment variable.
+DEFAULT_CACHE_DIR = "benchmarks/_cache"
+
+
+class ResultCache:
+    """Fingerprint-keyed persistent store of run results."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        version: str = __version__,
+    ):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.version = version
+
+    @property
+    def dir(self) -> Path:
+        """Directory holding entries for the active version."""
+        return self.root / self.version
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.dir / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        """Cached result for ``fingerprint``, or ``None`` on a miss.
+
+        Entries from other versions, truncated files and JSON from
+        foreign tools all read as misses, never as errors.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != self.version
+            or entry.get("fingerprint") != fingerprint
+            or "result" not in entry
+        ):
+            return None
+        try:
+            return RunResult.from_dict(entry["result"])
+        except Exception:
+            return None
+
+    def put(
+        self,
+        fingerprint: str,
+        result: RunResult,
+        config: dict | None = None,
+        elapsed: float | None = None,
+    ) -> Path:
+        """Persist ``result`` under ``fingerprint``; returns the path."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": self.version,
+            "fingerprint": fingerprint,
+            "config": config,
+            "elapsed": elapsed,
+            "result": result.to_dict(),
+        }
+        path = self.path_for(fingerprint)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.dir, prefix=f".{fingerprint[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get(fingerprint) is not None
+
+    def __len__(self) -> int:
+        """Number of entries for the active version."""
+        try:
+            return sum(1 for _ in self.dir.glob("*.json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every entry of the active version; returns the count."""
+        removed = 0
+        if self.dir.is_dir():
+            for path in self.dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

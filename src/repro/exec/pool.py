@@ -1,0 +1,198 @@
+"""Parallel batch execution of work-stealing simulations.
+
+:func:`run_many` is the batch counterpart of
+:func:`repro.ws.runner.run_uts`: it takes any number of
+:class:`~repro.core.config.WorkStealingConfig`\\ s and executes them
+over a ``ProcessPoolExecutor``, with
+
+* **fingerprint deduplication** — identical configs in one batch run
+  once and share the result object;
+* **result caching** — an optional :class:`~repro.exec.cache.ResultCache`
+  is consulted before and populated after every simulation;
+* **progress streaming** — an optional callback receives one
+  :class:`RunProgress` per finished run, with per-run wall-clock time;
+* **bit-identical results** — configs are shipped to workers as plain
+  dicts and results return as JSON, the same serialization single runs
+  and the cache use.  Every random seed lives inside the config, so a
+  parallel batch reproduces the serial results exactly, in any order,
+  on any worker count.
+
+The worker protocol is deliberately dumb: a worker receives
+``(index, config_dict, max_events)``, rebuilds the config, runs the
+simulation and returns ``(index, result_json, elapsed)``.  No strategy
+objects, numpy arrays or tracebacks cross the process boundary except
+via this one format.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.config import WorkStealingConfig
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import fingerprint_dict
+from repro.ws.results import RunResult
+from repro.ws.runner import run_uts
+
+__all__ = ["run_many", "RunProgress"]
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """One progress tick of a :func:`run_many` batch."""
+
+    #: Position of the finished config in the input sequence.
+    index: int
+    #: Total number of configs in the batch.
+    total: int
+    #: Configs finished so far (including this one).
+    done: int
+    #: Config fingerprint (the cache key).
+    fingerprint: str
+    #: Human-readable config label.
+    label: str
+    #: Wall-clock seconds this run took (0.0 for cache hits).
+    elapsed: float
+    #: True when the result came from the cache, not a simulation.
+    cached: bool
+
+
+def _execute(payload: tuple[int, dict, int | None]) -> tuple[int, str, float]:
+    """Worker entry point: run one config shipped as a plain dict."""
+    index, config_dict, max_events = payload
+    start = time.perf_counter()
+    config = WorkStealingConfig.from_dict(config_dict)
+    result = run_uts(config, max_events=max_events)
+    return index, result.to_json(), time.perf_counter() - start
+
+
+def _normalize_cache(
+    cache: ResultCache | str | os.PathLike | bool | None,
+) -> ResultCache | None:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return ResultCache(cache)
+    raise ConfigurationError(
+        f"cache must be a ResultCache, path, bool or None, got {cache!r}"
+    )
+
+
+def run_many(
+    configs: Iterable[WorkStealingConfig | dict],
+    *,
+    jobs: int | None = 1,
+    cache: ResultCache | str | os.PathLike | bool | None = None,
+    progress: Callable[[RunProgress], None] | None = None,
+    max_events: int | None = None,
+) -> list[RunResult]:
+    """Run a batch of configs, in parallel, and return their results.
+
+    Parameters
+    ----------
+    configs:
+        :class:`WorkStealingConfig` objects (or ``to_dict`` dicts).
+        Duplicates (same fingerprint) are simulated once and share one
+        result object.
+    jobs:
+        Worker processes.  ``1`` (the default) runs everything in this
+        process; ``None`` uses ``os.cpu_count()``.  Results are
+        independent of ``jobs`` — same configs, same results, bit for
+        bit.
+    cache:
+        ``True`` for the default on-disk cache
+        (``benchmarks/_cache/``), a path or :class:`ResultCache` for a
+        specific one, ``None``/``False`` to disable.  Hits skip the
+        simulator entirely; misses are written back after running.
+    progress:
+        Called once per finished config with a :class:`RunProgress`
+        (cache hits first, then completions in finish order).
+    max_events:
+        Per-run event budget override, forwarded to the simulator.
+
+    Returns
+    -------
+    ``RunResult`` per input config, in input order.
+    """
+    config_objs: list[WorkStealingConfig] = []
+    for c in configs:
+        if isinstance(c, dict):
+            c = WorkStealingConfig.from_dict(c)
+        elif not isinstance(c, WorkStealingConfig):
+            raise ConfigurationError(
+                "run_many needs WorkStealingConfig objects or config "
+                f"dicts, got {type(c).__name__}"
+            )
+        config_objs.append(c)
+
+    total = len(config_objs)
+    dicts = [c.to_dict() for c in config_objs]
+    fingerprints = [fingerprint_dict(d) for d in dicts]
+    store = _normalize_cache(cache)
+
+    results: list[RunResult | None] = [None] * total
+    #: fingerprint -> indices sharing that config (batch deduplication).
+    groups: dict[str, list[int]] = {}
+    for i, fp in enumerate(fingerprints):
+        groups.setdefault(fp, []).append(i)
+
+    done = 0
+
+    def _finish(fp: str, result: RunResult, elapsed: float, cached: bool) -> None:
+        nonlocal done
+        for i in groups[fp]:
+            results[i] = result
+            done += 1
+            if progress is not None:
+                progress(
+                    RunProgress(
+                        index=i,
+                        total=total,
+                        done=done,
+                        fingerprint=fp,
+                        label=result.label,
+                        elapsed=elapsed,
+                        cached=cached,
+                    )
+                )
+
+    # Cache pass: resolve whole groups without touching the simulator.
+    pending: list[tuple[int, dict, int | None]] = []
+    for fp, indices in groups.items():
+        hit = store.get(fp) if store is not None else None
+        if hit is not None:
+            _finish(fp, hit, 0.0, cached=True)
+        else:
+            pending.append((indices[0], dicts[indices[0]], max_events))
+
+    def _complete(index: int, payload: str, elapsed: float) -> None:
+        fp = fingerprints[index]
+        result = RunResult.from_json(payload)
+        if store is not None:
+            store.put(fp, result, config=dicts[index], elapsed=elapsed)
+        _finish(fp, result, elapsed, cached=False)
+
+    if pending:
+        workers = jobs if jobs is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        workers = min(workers, len(pending))
+        if workers == 1:
+            for payload in pending:
+                _complete(*_execute(payload))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [executor.submit(_execute, p) for p in pending]
+                for future in as_completed(futures):
+                    _complete(*future.result())
+
+    return results  # type: ignore[return-value]  # every slot is filled

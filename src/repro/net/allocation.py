@@ -30,6 +30,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.registry import registry_for
 from repro.errors import AllocationError, ConfigurationError
 from repro.net.latency import KComputerLatency, LatencyModel
 from repro.net.topology import TofuTopology, Topology
@@ -176,13 +177,29 @@ class DilatedAllocation(ProcessAllocation):
         return self.base.rank_nodes(nranks) * self.dilation
 
 
-_ALLOCATIONS: dict[str, Callable[[], ProcessAllocation]] = {
-    "1/N": OnePerNode,
-    "8RR": lambda: RoundRobinPacked(8),
-    "8G": lambda: GroupedPacked(8),
-    "4RR": lambda: RoundRobinPacked(4),
-    "4G": lambda: GroupedPacked(4),
-}
+_ALLOCATIONS = registry_for("allocation")
+_ALLOCATIONS.register("1/N", OnePerNode)
+_ALLOCATIONS.register("8RR", lambda: RoundRobinPacked(8))
+_ALLOCATIONS.register("8G", lambda: GroupedPacked(8))
+_ALLOCATIONS.register("4RR", lambda: RoundRobinPacked(4))
+_ALLOCATIONS.register("4G", lambda: GroupedPacked(4))
+
+
+def _parse_dilated(name: str) -> ProcessAllocation | None:
+    base_name, sep, dilation_part = name.partition("@x")
+    if not sep:
+        return None
+    base = _ALLOCATIONS.resolve(base_name)
+    try:
+        dilation = int(dilation_part)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad dilation in allocation name {name!r}"
+        ) from None
+    return DilatedAllocation(base, dilation)  # type: ignore[arg-type]
+
+
+_ALLOCATIONS.register_pattern("<base>@x<dilation>", _parse_dilated)
 
 
 def allocation_by_name(name: str) -> ProcessAllocation:
@@ -190,26 +207,10 @@ def allocation_by_name(name: str) -> ProcessAllocation:
 
     Accepts the paper's names (``"1/N"``, ``"8RR"``, ``"8G"``, ...)
     plus a ``"<base>@x<dilation>"`` suffix for dilated placements,
-    e.g. ``"1/N@x16"``.
+    e.g. ``"1/N@x16"``; thin wrapper over
+    ``registry.resolve("allocation", name)``.
     """
-    base_name, _, dilation_part = name.partition("@x")
-    try:
-        factory = _ALLOCATIONS[base_name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown allocation {name!r}; known: {sorted(_ALLOCATIONS)} "
-            "optionally suffixed with '@x<dilation>'"
-        ) from None
-    allocation = factory()
-    if dilation_part:
-        try:
-            dilation = int(dilation_part)
-        except ValueError:
-            raise ConfigurationError(
-                f"bad dilation in allocation name {name!r}"
-            ) from None
-        allocation = DilatedAllocation(allocation, dilation)
-    return allocation
+    return _ALLOCATIONS.resolve(name)  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -273,7 +274,7 @@ def build_placement(
     nranks: int,
     allocation: ProcessAllocation | str = "1/N",
     latency_model: LatencyModel | None = None,
-    topology_factory: Callable[[int], Topology] | None = None,
+    topology_factory: Callable[[int], Topology] | str | None = None,
 ) -> Placement:
     """Allocate ``nranks`` processes and precompute all pairwise data.
 
@@ -287,7 +288,8 @@ def build_placement(
     latency_model:
         Defaults to :class:`~repro.net.latency.KComputerLatency`.
     topology_factory:
-        ``f(n_nodes) -> Topology``; defaults to
+        ``f(n_nodes) -> Topology`` or a registered topology name
+        (``"tofu"``, ``"torus3d"``, ``"flat"``); defaults to
         :meth:`TofuTopology.for_nodes` (compact-box placement, like the
         K Computer's scheduler).
     """
@@ -297,6 +299,8 @@ def build_placement(
         latency_model = KComputerLatency()
     if topology_factory is None:
         topology_factory = TofuTopology.for_nodes
+    elif isinstance(topology_factory, str):
+        topology_factory = registry_for("topology").resolve(topology_factory)
 
     n_nodes = allocation.nodes_needed(nranks)
     topology = topology_factory(n_nodes)

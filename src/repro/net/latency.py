@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core.registry import registry_for
 from repro.errors import ConfigurationError
 from repro.net.topology import TofuTopology, Topology
 
@@ -30,6 +31,7 @@ __all__ = [
     "HopLatency",
     "HierarchicalLatency",
     "KComputerLatency",
+    "latency_model_from_spec",
 ]
 
 
@@ -60,6 +62,22 @@ class LatencyModel(ABC):
             raise ConfigurationError("negative latency produced")
         np.fill_diagonal(latency, 0.0)
         return latency
+
+    def to_spec(self) -> dict:
+        """Serializable description: ``{"kind": ..., <float params>}``.
+
+        Round-trips through :func:`latency_model_from_spec`; the float
+        parameters are exactly the constructor keywords, so any model
+        whose constructor accepts its own ``vars()`` floats serializes
+        for free.
+        """
+        spec: dict = {"kind": self.name}
+        spec.update(
+            (k, float(v))
+            for k, v in vars(self).items()
+            if isinstance(v, (int, float)) and not k.startswith("_")
+        )
+        return spec
 
 
 class UniformLatency(LatencyModel):
@@ -179,3 +197,30 @@ class KComputerLatency(HierarchicalLatency):
             base=1.5e-6,
             per_hop=2e-7,
         )
+
+    def to_spec(self) -> dict:
+        # The calibration is fixed by the constructor; no params needed.
+        return {"kind": self.name}
+
+
+_LATENCIES = registry_for("latency_model")
+_LATENCIES.register(UniformLatency.name, UniformLatency)
+_LATENCIES.register(HopLatency.name, HopLatency)
+_LATENCIES.register(HierarchicalLatency.name, HierarchicalLatency)
+_LATENCIES.register(KComputerLatency.name, KComputerLatency)
+
+
+def latency_model_from_spec(spec: dict | str) -> LatencyModel:
+    """Rebuild a latency model from :meth:`LatencyModel.to_spec` output.
+
+    Also accepts a bare kind string (``"kcomputer"``) meaning the
+    model's default parameters.
+    """
+    if isinstance(spec, str):
+        return _LATENCIES.resolve(spec)  # type: ignore[return-value]
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ConfigurationError(
+            f"latency spec must be a {{'kind': ...}} dict or a name, got {spec!r}"
+        )
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    return _LATENCIES.resolve(spec["kind"], **params)  # type: ignore[return-value]

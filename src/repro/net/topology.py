@@ -24,6 +24,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core.registry import registry_for
 from repro.errors import TopologyError
 from repro.net.coords import CoordSpace
 
@@ -33,6 +34,7 @@ __all__ = [
     "Torus3D",
     "FlatTopology",
     "FatTreeTopology",
+    "topology_factory_by_name",
 ]
 
 
@@ -327,3 +329,25 @@ class FatTreeTopology(Topology):
 
     def euclidean_matrix(self, nodes: np.ndarray) -> np.ndarray:
         return self.hops_matrix(nodes).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# Named topology factories
+# ----------------------------------------------------------------------
+#
+# A topology *factory* is ``f(n_nodes) -> Topology``; configs may name
+# one by string so runs stay serializable (see repro.exec).  The
+# registry entries therefore resolve to the factory callable itself.
+
+_TOPOLOGIES = registry_for("topology")
+_TOPOLOGIES.register("tofu", lambda: TofuTopology.for_nodes)
+_TOPOLOGIES.register("torus3d", lambda: Torus3D.for_nodes)
+_TOPOLOGIES.register("flat", lambda: FlatTopology)
+
+
+def topology_factory_by_name(name: str):
+    """Resolve a named topology factory (``"tofu"``, ``"flat"``, ...).
+
+    Thin wrapper over ``registry.resolve("topology", name)``.
+    """
+    return _TOPOLOGIES.resolve(name)

@@ -34,6 +34,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core.registry import registry_for
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -178,18 +179,14 @@ class SplitMix64Backend(RngBackend):
             return _mix64(z)
 
 
-_BACKENDS: dict[str, type[RngBackend]] = {
-    Sha1Backend.name: Sha1Backend,
-    SplitMix64Backend.name: SplitMix64Backend,
-}
+_BACKENDS = registry_for("rng_backend")
+_BACKENDS.register(Sha1Backend.name, Sha1Backend)
+_BACKENDS.register(SplitMix64Backend.name, SplitMix64Backend)
 
 
 def backend_by_name(name: str) -> RngBackend:
-    """Instantiate an RNG backend by its :attr:`RngBackend.name`."""
-    try:
-        cls = _BACKENDS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown RNG backend {name!r}; known: {sorted(_BACKENDS)}"
-        ) from None
-    return cls()
+    """Instantiate an RNG backend by its :attr:`RngBackend.name`.
+
+    Thin wrapper over ``registry.resolve("rng_backend", name)``.
+    """
+    return _BACKENDS.resolve(name)  # type: ignore[return-value]

@@ -15,7 +15,8 @@ reports from the raw :class:`~repro.sim.cluster.SimOutcome`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -146,9 +147,8 @@ class RunResult:
                 if outcome.clock.enabled
                 else raw
             )
-        assert not isinstance(cfg.allocation, str)
-        assert not isinstance(cfg.selector, str)
-        assert not isinstance(cfg.steal_policy, str)
+        # Config resolution is guaranteed by WorkStealingConfig's
+        # __post_init__; the .name accesses below raise cleanly if not.
         return cls(
             label=cfg.label(),
             tree_name=cfg.tree.name,
@@ -183,3 +183,96 @@ class RunResult:
             f"failed={self.failed_steals} "
             f"search={self.mean_search_time * 1e3:.2f}ms"
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (the repro.exec contract): run_uts, run_many and
+    # the on-disk result cache all speak this one format.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the result; see :meth:`from_dict`.
+
+        Exact round-trip: ints stay ints, floats survive via JSON's
+        shortest-repr encoding, the activity trace (when present) is
+        stored transition-by-transition.  The lazily-computed latency
+        profile is derived data and deliberately not serialized.
+        """
+        trace = None
+        if self.trace is not None:
+            trace = [
+                [times.tolist(), states.tolist()]
+                for times, states in self.trace.transitions
+            ]
+        return {
+            "label": self.label,
+            "tree_name": self.tree_name,
+            "nranks": self.nranks,
+            "allocation": self.allocation,
+            "selector": self.selector,
+            "steal_policy": self.steal_policy,
+            "compute_rounds": self.compute_rounds,
+            "total_nodes": self.total_nodes,
+            "total_time": self.total_time,
+            "baseline_time": self.baseline_time,
+            "steal_requests": self.steal_requests,
+            "failed_steals": self.failed_steals,
+            "successful_steals": self.successful_steals,
+            "nodes_stolen": self.nodes_stolen,
+            "chunks_stolen": self.chunks_stolen,
+            "search_time_total": self.search_time_total,
+            "sessions": asdict(self.sessions),
+            "per_rank_nodes": self.per_rank_nodes.tolist(),
+            "per_rank_search_time": self.per_rank_search_time.tolist(),
+            "events_processed": self.events_processed,
+            "messages_dropped": self.messages_dropped,
+            "probes_started": self.probes_started,
+            "trace": trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"result data must be a dict, got {type(data).__name__}"
+            )
+        kwargs = dict(data)
+        try:
+            sessions = SessionStats(**kwargs.pop("sessions"))
+            trace_data = kwargs.pop("trace")
+            kwargs["per_rank_nodes"] = np.asarray(
+                kwargs["per_rank_nodes"], dtype=np.int64
+            )
+            kwargs["per_rank_search_time"] = np.asarray(
+                kwargs["per_rank_search_time"], dtype=np.float64
+            )
+        except (KeyError, TypeError) as exc:
+            raise ReproError(f"malformed result data: {exc}") from None
+        trace = None
+        if trace_data is not None:
+            trace = ActivityTrace(
+                [
+                    (
+                        np.asarray(times, dtype=np.float64),
+                        np.asarray(states, dtype=bool),
+                    )
+                    for times, states in trace_data
+                ]
+            )
+        try:
+            return cls(sessions=sessions, trace=trace, **kwargs)
+        except TypeError as exc:
+            raise ReproError(f"malformed result data: {exc}") from None
+
+    def to_json(self) -> str:
+        """Compact JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"malformed result JSON: {exc}") from None
+        return cls.from_dict(data)

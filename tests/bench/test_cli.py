@@ -48,3 +48,26 @@ def test_run_table1():
 def test_run_fig08():
     proc = _cli("fig08")
     assert proc.returncode == 0
+
+
+def test_only_flag_is_an_alias():
+    proc = _cli("--only", "table1", "--no-cache")
+    assert proc.returncode == 0
+    assert "T3XXL" in proc.stdout
+
+
+def test_only_conflicting_with_positional():
+    proc = _cli("fig02", "--only", "fig03")
+    assert proc.returncode == 2
+
+
+def test_bad_jobs_rejected():
+    proc = _cli("table1", "--jobs", "0")
+    assert proc.returncode == 2
+    assert "--jobs" in proc.stderr
+
+
+def test_jobs_flag_accepted():
+    proc = _cli("table1", "--jobs", "2", "--no-cache")
+    assert proc.returncode == 0
+    assert "T3XXL" in proc.stdout

@@ -102,3 +102,28 @@ class TestDerived:
     def test_replace_validates(self):
         with pytest.raises(ConfigurationError):
             _cfg().replace(nranks=-1)
+
+    def test_replace_keeps_resolved_strategy_objects(self):
+        # replace() re-runs validation; already-resolved parameterised
+        # strategies must survive it untouched, not be re-parsed.
+        cfg = _cfg(selector="skew[1.5]", steal_policy="frac[0.25]", allocation="8G@x2")
+        derived = cfg.replace(nranks=16)
+        assert derived.selector is cfg.selector
+        assert derived.steal_policy is cfg.steal_policy
+        assert derived.allocation is cfg.allocation
+        assert derived.selector.name == "skew[1.5]"
+        assert derived.fingerprint() != cfg.fingerprint()
+        assert derived.replace(nranks=8).fingerprint() == cfg.fingerprint()
+
+    def test_replace_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            _cfg().replace(warp_factor=9)
+
+    def test_label_without_name_raises_configuration_error(self):
+        class Anonymous:
+            pass
+
+        cfg = _cfg()
+        object.__setattr__(cfg, "selector", Anonymous())
+        with pytest.raises(ConfigurationError):
+            cfg.label()

@@ -1,0 +1,109 @@
+"""Tests for the on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import WorkStealingConfig
+from repro.exec.cache import ResultCache
+from repro.exec.pool import run_many
+from repro.uts.params import T3XS
+
+
+@pytest.fixture()
+def cfg() -> WorkStealingConfig:
+    return WorkStealingConfig(tree=T3XS, nranks=8)
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path, cfg):
+        cache = ResultCache(tmp_path)
+        result = run_many([cfg])[0]
+        fp = cfg.fingerprint()
+        assert cache.get(fp) is None
+        cache.put(fp, result, config=cfg.to_dict(), elapsed=1.25)
+        hit = cache.get(fp)
+        assert hit is not None
+        assert hit.to_json() == result.to_json()
+        assert fp in cache and len(cache) == 1
+
+    def test_entry_layout(self, tmp_path, cfg):
+        cache = ResultCache(tmp_path, version="9.9.9")
+        result = run_many([cfg])[0]
+        fp = cfg.fingerprint()
+        cache.put(fp, result, config=cfg.to_dict(), elapsed=0.5)
+        path = cache.path_for(fp)
+        assert path.parent.name == "9.9.9"
+        entry = json.loads(path.read_text())
+        assert entry["version"] == "9.9.9"
+        assert entry["fingerprint"] == fp
+        assert entry["config"]["nranks"] == 8
+
+    def test_version_bump_invalidates(self, tmp_path, cfg):
+        old = ResultCache(tmp_path, version="1.0.0")
+        result = run_many([cfg])[0]
+        fp = cfg.fingerprint()
+        old.put(fp, result)
+        assert ResultCache(tmp_path, version="2.0.0").get(fp) is None
+        assert old.get(fp) is not None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, cfg):
+        cache = ResultCache(tmp_path)
+        fp = cfg.fingerprint()
+        cache.put(fp, run_many([cfg])[0])
+        cache.path_for(fp).write_text("{corrupt")
+        assert cache.get(fp) is None
+
+    def test_clear(self, tmp_path, cfg):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg.fingerprint(), run_many([cfg])[0])
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestRunManyCacheIntegration:
+    def test_second_run_hits_cache_without_simulating(self, tmp_path, cfg, monkeypatch):
+        cache = ResultCache(tmp_path)
+        first = run_many([cfg], cache=cache)[0]
+        assert len(cache) == 1
+
+        def _boom(payload):
+            raise AssertionError("simulator invoked on a warm cache")
+
+        monkeypatch.setattr("repro.exec.pool._execute", _boom)
+        second = run_many([cfg], cache=cache)[0]
+        assert second.to_json() == first.to_json()
+
+    def test_cache_hit_reports_cached_progress(self, tmp_path, cfg):
+        cache = ResultCache(tmp_path)
+        run_many([cfg], cache=cache)
+        ticks = []
+        run_many([cfg], cache=cache, progress=ticks.append)
+        assert len(ticks) == 1
+        assert ticks[0].cached and ticks[0].elapsed == 0.0
+
+    def test_cache_warms_across_sweep(self, tmp_path):
+        configs = [
+            WorkStealingConfig(tree=T3XS, nranks=8, seed=s, chunk_size=c)
+            for s in range(4)
+            for c in (10, 20)
+        ]
+        assert len(configs) == 8
+        cache = ResultCache(tmp_path)
+        cold = run_many(configs, jobs=2, cache=cache)
+        assert len(cache) == 8
+        ticks = []
+        warm = run_many(configs, jobs=2, cache=cache, progress=ticks.append)
+        assert all(t.cached for t in ticks)
+        for a, b in zip(cold, warm):
+            assert a.to_json() == b.to_json()
+
+    def test_cache_env_override(self, tmp_path, cfg, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert str(cache.dir).startswith(str(tmp_path / "envcache"))
+        run_many([cfg], cache=True)
+        assert len(ResultCache()) == 1

@@ -1,0 +1,82 @@
+"""Tests for the parallel batch runner."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import WorkStealingConfig
+from repro.errors import ConfigurationError
+from repro.exec.pool import RunProgress, run_many
+from repro.uts.params import T3XS
+
+
+def _configs(n: int = 4, **kw) -> list[WorkStealingConfig]:
+    return [
+        WorkStealingConfig(tree=T3XS, nranks=8, seed=seed, **kw)
+        for seed in range(n)
+    ]
+
+
+def _same_result(a, b) -> bool:
+    for f in dataclasses.fields(a):
+        if f.name in ("per_rank_nodes", "per_rank_search_time"):
+            if not (getattr(a, f.name) == getattr(b, f.name)).all():
+                return False
+        elif f.name in ("trace", "_profile"):
+            continue  # compared separately where relevant
+        elif getattr(a, f.name) != getattr(b, f.name):
+            return False
+    return True
+
+
+class TestRunMany:
+    def test_serial_matches_parallel_bit_for_bit(self):
+        configs = _configs(4)
+        serial = run_many(configs, jobs=1)
+        parallel = run_many(configs, jobs=2)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert _same_result(a, b)
+            assert a.to_json() == b.to_json()
+
+    def test_accepts_config_dicts(self):
+        configs = _configs(2)
+        from_objs = run_many(configs)
+        from_dicts = run_many([c.to_dict() for c in configs])
+        for a, b in zip(from_objs, from_dicts):
+            assert a.to_json() == b.to_json()
+
+    def test_duplicates_share_one_result(self):
+        cfg = _configs(1)[0]
+        results = run_many([cfg, cfg.replace(), cfg])
+        assert results[0] is results[1] is results[2]
+
+    def test_results_in_input_order(self):
+        configs = _configs(5)
+        results = run_many(configs, jobs=3)
+        for cfg, result in zip(configs, results):
+            assert result.nranks == cfg.nranks
+            assert result.label == cfg.label()
+
+    def test_progress_callback(self):
+        configs = _configs(3)
+        ticks: list[RunProgress] = []
+        run_many(configs, jobs=2, progress=ticks.append)
+        assert len(ticks) == 3
+        assert sorted(t.index for t in ticks) == [0, 1, 2]
+        assert {t.done for t in ticks} == {1, 2, 3}
+        assert all(t.total == 3 and not t.cached for t in ticks)
+        assert all(t.elapsed > 0 for t in ticks)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            run_many(["not-a-config"])
+        with pytest.raises(ConfigurationError):
+            run_many(_configs(1), jobs=0)
+        with pytest.raises(ConfigurationError):
+            run_many(_configs(1), cache=3.14)
+
+    def test_empty_batch(self):
+        assert run_many([]) == []
