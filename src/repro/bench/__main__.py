@@ -66,6 +66,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the on-disk result cache (benchmarks/_cache/)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top 25 functions by "
+        "cumulative time (forces --jobs 1 so the profile covers the "
+        "actual simulation work)",
+    )
     args = parser.parse_args(argv)
 
     experiment = args.only or args.experiment
@@ -87,11 +94,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    experiments.configure(jobs=args.jobs, cache=not args.no_cache)
+    jobs = args.jobs
+    if args.profile and jobs != 1:
+        print("--profile forces --jobs 1", file=sys.stderr)
+        jobs = 1
+    experiments.configure(jobs=jobs, cache=not args.no_cache)
 
     module = importlib.import_module(f"benchmarks.{module_name}")
     print(f"running {desc} ...", file=sys.stderr)
-    payload = getattr(module, fn_name)()
+    builder = getattr(module, fn_name)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        payload = profiler.runcall(builder)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        payload = builder()
     # Reuse the module's own printing by invoking its test body is not
     # possible without the benchmark fixture; print the raw payload in
     # a readable form instead.

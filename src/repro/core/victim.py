@@ -209,6 +209,12 @@ def skewed_probabilities(
 
 class _SkewedState(VictimSelector):
     def __init__(self, cumulative: np.ndarray, rng: np.random.Generator):
+        # Float rounding can leave cum[-1] a few ulps below 1.0, and
+        # searchsorted(side="right") would then map a draw above it to
+        # len(cum) — an out-of-range victim.  Pin the last edge to 1.0:
+        # draws live in [0, 1), so every index is then in [0, len).
+        cumulative = np.asarray(cumulative, dtype=np.float64).copy()
+        cumulative[-1] = 1.0
         self._cum = cumulative
         self._rng = rng
         self._buf: np.ndarray | None = None
@@ -242,7 +248,9 @@ class PowerSkewedSelector(SelectorFactory):
 
     def probabilities(self, rank: int, placement: Placement) -> np.ndarray:
         """Expose the distribution itself (used to regenerate Fig 8)."""
-        return skewed_probabilities(rank, placement.euclidean[rank], self.alpha)
+        return skewed_probabilities(
+            rank, placement.euclidean.row(rank), self.alpha
+        )
 
     def make(self, rank, nranks, placement=None, seed=0):
         self._check(rank, nranks, placement)
@@ -280,7 +288,7 @@ class LatencySkewedSelector(SelectorFactory):
         self.name = f"latskew[{alpha:g}]"
 
     def probabilities(self, rank: int, placement: Placement) -> np.ndarray:
-        lat = placement.latency[rank].copy()
+        lat = np.array(placement.latency.row(rank))
         # Normalise so the nearest victim has unit weight, mirroring
         # the paper's w=1 convention for zero-distance ranks.
         others = lat[np.arange(len(lat)) != rank]
@@ -342,7 +350,7 @@ class HierarchicalSelector(SelectorFactory):
     def make(self, rank, nranks, placement=None, seed=0):
         self._check(rank, nranks, placement)
         assert placement is not None
-        lat = placement.latency[rank].copy()
+        lat = placement.latency.row(rank)
         others = np.array([r for r in range(nranks) if r != rank])
         cut = float(np.median(lat[others]))
         near = others[lat[others] <= cut]

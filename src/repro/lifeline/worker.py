@@ -23,6 +23,9 @@ the sender like steal responses do.
 from __future__ import annotations
 
 from repro.sim.messages import (
+    TAG_LIFELINE_DEREGISTER,
+    TAG_LIFELINE_REGISTER,
+    TAG_STEAL_RESPONSE,
     LifelineDeregister,
     LifelineRegister,
     StealResponse,
@@ -54,6 +57,18 @@ def lifeline_partners(rank: int, nranks: int, count: int) -> list[int]:
 class LifelineWorker(Worker):
     """Reference worker + quiesce-and-wait lifelines."""
 
+    __slots__ = (
+        "lifeline_threshold",
+        "partners",
+        "_consecutive_failures",
+        "_quiescent",
+        "_armed",
+        "waiters",
+        "lifeline_pushes",
+        "lifeline_wakeups",
+        "quiesce_episodes",
+    )
+
     def __init__(
         self,
         *args,
@@ -81,16 +96,17 @@ class LifelineWorker(Worker):
     def on_message(self, now: float, msg: object) -> None:
         if self.status is WorkerStatus.DONE:
             return
-        if isinstance(msg, LifelineRegister):
+        tag = getattr(msg, "tag", None)
+        if tag == TAG_LIFELINE_REGISTER:
             if msg.thief not in self.waiters:
                 self.waiters.append(msg.thief)
             return
-        if isinstance(msg, LifelineDeregister):
+        if tag == TAG_LIFELINE_DEREGISTER:
             if msg.thief in self.waiters:
                 self.waiters.remove(msg.thief)
             return
         if (
-            isinstance(msg, StealResponse)
+            tag == TAG_STEAL_RESPONSE
             and msg.has_work
             and self.status is WorkerStatus.RUNNING
         ):

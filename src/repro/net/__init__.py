@@ -15,11 +15,15 @@ the K Computer provided the authors:
   distance into seconds;
 * :mod:`repro.net.allocation` — rank-to-node placements (the paper's
   1/N, 8RR and 8G schemes) and the :class:`~repro.net.allocation.Placement`
-  object that precomputes per-rank-pair distances and latencies;
+  object exposing per-rank-pair distances and latencies;
+* :mod:`repro.net.pairwise` — the row-lazy
+  :class:`~repro.net.pairwise.PairwiseMetric` backing those pairwise
+  quantities with O(N) memory at paper scale;
 * :mod:`repro.net.contention` — optional per-node NIC serialisation.
 """
 
 from repro.net.coords import CoordSpace
+from repro.net.pairwise import PairwiseMetric
 from repro.net.topology import (
     Topology,
     TofuTopology,
@@ -49,6 +53,7 @@ from repro.net.contention import NicContention
 
 __all__ = [
     "CoordSpace",
+    "PairwiseMetric",
     "Topology",
     "TofuTopology",
     "Torus3D",

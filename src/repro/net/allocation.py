@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.registry import registry_for
 from repro.errors import AllocationError, ConfigurationError
 from repro.net.latency import KComputerLatency, LatencyModel
+from repro.net.pairwise import PairwiseMetric
 from repro.net.topology import TofuTopology, Topology
 
 __all__ = [
@@ -226,8 +227,10 @@ class Placement:
     topology:
         The node topology the job runs on.
     latency:
-        ``latency[i, j]`` one-way message latency (seconds) between
-        ranks ``i`` and ``j``.
+        :class:`~repro.net.pairwise.PairwiseMetric` of one-way message
+        latencies (seconds) between ranks — row-lazy, so paper-scale
+        jobs never hold the dense N x N matrix.  Plain ndarrays are
+        accepted and wrapped for backwards compatibility.
     euclidean:
         Pairwise Euclidean distances between rank positions — the
         quantity the paper's skewed victim selection weights by.
@@ -240,22 +243,22 @@ class Placement:
     nranks: int
     rank_nodes: np.ndarray
     topology: Topology
-    latency: np.ndarray
-    euclidean: np.ndarray
-    hops: np.ndarray
+    latency: PairwiseMetric
+    euclidean: PairwiseMetric
+    hops: PairwiseMetric
     allocation_name: str = "?"
     latency_name: str = "?"
 
     def __post_init__(self) -> None:
         n = self.nranks
-        for mat, label in (
-            (self.latency, "latency"),
-            (self.euclidean, "euclidean"),
-            (self.hops, "hops"),
-        ):
-            if mat.shape != (n, n):
+        for name in ("latency", "euclidean", "hops"):
+            metric = getattr(self, name)
+            if isinstance(metric, np.ndarray):
+                metric = PairwiseMetric.from_dense(metric, name=name)
+                object.__setattr__(self, name, metric)
+            if metric.shape != (n, n):
                 raise ConfigurationError(
-                    f"{label} matrix shape {mat.shape} != ({n}, {n})"
+                    f"{name} matrix shape {metric.shape} != ({n}, {n})"
                 )
         if len(self.rank_nodes) != n:
             raise ConfigurationError(
@@ -312,9 +315,16 @@ def build_placement(
     if rank_nodes.max() >= topology.num_nodes:
         raise AllocationError("allocation placed a rank outside the topology")
 
-    latency = latency_model.matrix(topology, rank_nodes)
-    euclidean = topology.euclidean_matrix(rank_nodes)
-    hops = topology.hops_matrix(rank_nodes)
+    # Row-lazy metrics: nothing N x N is allocated here — rows are
+    # computed on demand (LRU-cached), and the dense escape hatch only
+    # materialises if a consumer explicitly asks (small-N numpy code).
+    latency = PairwiseMetric(
+        nranks, latency_model.row_builder(topology, rank_nodes), name="latency"
+    )
+    euclidean = PairwiseMetric(
+        nranks, topology.euclidean_rows(rank_nodes), name="euclidean"
+    )
+    hops = PairwiseMetric(nranks, topology.hops_rows(rank_nodes), name="hops")
     return Placement(
         nranks=nranks,
         rank_nodes=rank_nodes,

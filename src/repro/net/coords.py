@@ -99,6 +99,20 @@ class CoordSpace:
         d = self.delta(a, b).astype(np.float64)
         return float(np.sqrt((d * d).sum()))
 
+    def delta_from(self, coords: np.ndarray, ref: np.ndarray) -> np.ndarray:
+        """Per-dimension separations of many coords from one reference.
+
+        The one-row counterpart of :meth:`delta_matrix`: for ``(n,
+        ndim)`` coords and a single ``(ndim,)`` reference it returns an
+        ``(n, ndim)`` int array using ``O(n)`` memory, which is what
+        lets placements stay row-lazy at paper scale.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        ref = np.asarray(ref, dtype=np.int64)
+        raw = np.abs(coords - ref[None, :])
+        wrapped = np.minimum(raw, self._dims_arr[None, :] - raw)
+        return np.where(self._wrap_arr[None, :], wrapped, raw)
+
     def delta_matrix(self, coords: np.ndarray) -> np.ndarray:
         """Pairwise per-dimension separations for ``(n, ndim)`` coords.
 

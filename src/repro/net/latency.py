@@ -63,6 +63,29 @@ class LatencyModel(ABC):
         np.fill_diagonal(latency, 0.0)
         return latency
 
+    @staticmethod
+    def _validate_row(row: np.ndarray, i: int) -> np.ndarray:
+        if np.any(row < 0):
+            raise ConfigurationError("negative latency produced")
+        row[i] = 0.0
+        return row
+
+    def row_builder(self, topology: Topology, rank_nodes: np.ndarray):
+        """Return ``f(i) -> latency row for rank i`` (O(N) per call).
+
+        The builder precomputes whatever per-job state the rows share;
+        the built-in models override this with genuinely row-lazy
+        implementations so paper-scale placements never hold an N x N
+        array.  This default falls back to :meth:`matrix` (dense!) and
+        only exists so custom third-party models keep working.
+        """
+        full = self.matrix(topology, rank_nodes)
+
+        def row(i: int) -> np.ndarray:
+            return full[i]
+
+        return row
+
     def to_spec(self) -> dict:
         """Serializable description: ``{"kind": ..., <float params>}``.
 
@@ -100,6 +123,16 @@ class UniformLatency(LatencyModel):
         out = np.full((n, n), self.latency, dtype=np.float64)
         return self._validate(out)
 
+    def row_builder(self, topology: Topology, rank_nodes: np.ndarray):
+        n = len(rank_nodes)
+        latency = self.latency
+
+        def row(i: int) -> np.ndarray:
+            out = np.full(n, latency, dtype=np.float64)
+            return self._validate_row(out, i)
+
+        return row
+
 
 class HopLatency(LatencyModel):
     """``base + per_hop * hops`` with a shared-memory intra-node fast path."""
@@ -125,6 +158,18 @@ class HopLatency(LatencyModel):
         same_node = rank_nodes[:, None] == rank_nodes[None, :]
         out[same_node] = self.intra_node
         return self._validate(out)
+
+    def row_builder(self, topology: Topology, rank_nodes: np.ndarray):
+        rank_nodes = np.asarray(rank_nodes, dtype=np.int64)
+        hops_row = topology.hops_rows(rank_nodes)
+        base, per_hop, intra = self.base, self.per_hop, self.intra_node
+
+        def row(i: int) -> np.ndarray:
+            out = base + per_hop * hops_row(i).astype(np.float64)
+            out[rank_nodes == rank_nodes[i]] = intra
+            return self._validate_row(out, i)
+
+        return row
 
 
 class HierarchicalLatency(LatencyModel):
@@ -182,6 +227,29 @@ class HierarchicalLatency(LatencyModel):
         out[same_blade] = self.blade
         out[same_node] = self.intra_node
         return self._validate(out)
+
+    def row_builder(self, topology: Topology, rank_nodes: np.ndarray):
+        if not isinstance(topology, TofuTopology):
+            raise ConfigurationError(
+                "HierarchicalLatency requires a TofuTopology "
+                f"(got {type(topology).__name__}); use HopLatency instead"
+            )
+        rank_nodes = np.asarray(rank_nodes, dtype=np.int64)
+        coords = topology.space.coords_of_many(rank_nodes)
+        cube_xyz = coords[:, :3]
+        blade_id = coords[:, [0, 1, 2, 4]]
+        dims = np.array(topology.cube_grid, dtype=np.int64)
+
+        def row(i: int) -> np.ndarray:
+            raw = np.abs(cube_xyz - cube_xyz[i])
+            hops = np.minimum(raw, dims[None, :] - raw).sum(axis=1)
+            out = self.base + self.per_hop * hops.astype(np.float64)
+            out[(cube_xyz == cube_xyz[i]).all(axis=1)] = self.cube
+            out[(blade_id == blade_id[i]).all(axis=1)] = self.blade
+            out[rank_nodes == rank_nodes[i]] = self.intra_node
+            return self._validate_row(out, i)
+
+        return row
 
 
 class KComputerLatency(HierarchicalLatency):

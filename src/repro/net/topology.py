@@ -85,6 +85,37 @@ class Topology(ABC):
                 out[i, j] = out[j, i] = d
         return out
 
+    # ------------------------------------------------------------------
+    # Row builders: O(N)-memory access for paper-scale placements.
+    # A builder precomputes whatever per-job state the rows share (the
+    # coordinate table, typically) and returns ``f(i) -> row``; see
+    # :class:`repro.net.pairwise.PairwiseMetric`.
+    # ------------------------------------------------------------------
+
+    def hops_rows(self, nodes: np.ndarray):
+        """``f(i) -> hop counts from rank i to every rank`` (default: loops)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+
+        def row(i: int) -> np.ndarray:
+            a = int(nodes[i])
+            return np.array(
+                [self.hops(a, int(b)) for b in nodes], dtype=np.int64
+            )
+
+        return row
+
+    def euclidean_rows(self, nodes: np.ndarray):
+        """``f(i) -> Euclidean distances from rank i`` (default: loops)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+
+        def row(i: int) -> np.ndarray:
+            a = int(nodes[i])
+            return np.array(
+                [self.euclidean(a, int(b)) for b in nodes], dtype=np.float64
+            )
+
+        return row
+
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise TopologyError(
@@ -128,6 +159,25 @@ class _GridTopology(Topology):
         coords = self._space.coords_of_many(np.asarray(nodes, dtype=np.int64))
         d = self._space.delta_matrix(coords).astype(np.float64)
         return np.sqrt((d * d).sum(axis=2))
+
+    def hops_rows(self, nodes: np.ndarray):
+        space = self._space
+        coords = space.coords_of_many(np.asarray(nodes, dtype=np.int64))
+
+        def row(i: int) -> np.ndarray:
+            return space.delta_from(coords, coords[i]).sum(axis=1)
+
+        return row
+
+    def euclidean_rows(self, nodes: np.ndarray):
+        space = self._space
+        coords = space.coords_of_many(np.asarray(nodes, dtype=np.int64))
+
+        def row(i: int) -> np.ndarray:
+            d = space.delta_from(coords, coords[i]).astype(np.float64)
+            return np.sqrt((d * d).sum(axis=1))
+
+        return row
 
 
 class TofuTopology(_GridTopology):
@@ -271,6 +321,22 @@ class FlatTopology(Topology):
     def euclidean_matrix(self, nodes: np.ndarray) -> np.ndarray:
         return self.hops_matrix(nodes).astype(np.float64)
 
+    def hops_rows(self, nodes: np.ndarray):
+        nodes = np.asarray(nodes, dtype=np.int64)
+
+        def row(i: int) -> np.ndarray:
+            return np.where(nodes == nodes[i], 0, 1).astype(np.int64)
+
+        return row
+
+    def euclidean_rows(self, nodes: np.ndarray):
+        hops_row = self.hops_rows(nodes)
+
+        def row(i: int) -> np.ndarray:
+            return hops_row(i).astype(np.float64)
+
+        return row
+
 
 class FatTreeTopology(Topology):
     """Two-level switched tree: nodes grouped under leaf switches.
@@ -329,6 +395,27 @@ class FatTreeTopology(Topology):
 
     def euclidean_matrix(self, nodes: np.ndarray) -> np.ndarray:
         return self.hops_matrix(nodes).astype(np.float64)
+
+    def hops_rows(self, nodes: np.ndarray):
+        nodes = np.asarray(nodes, dtype=np.int64)
+        groups = nodes // self.nodes_per_group
+
+        def row(i: int) -> np.ndarray:
+            same_node = nodes == nodes[i]
+            same_group = groups == groups[i]
+            return np.where(same_node, 0, np.where(same_group, 1, 3)).astype(
+                np.int64
+            )
+
+        return row
+
+    def euclidean_rows(self, nodes: np.ndarray):
+        hops_row = self.hops_rows(nodes)
+
+        def row(i: int) -> np.ndarray:
+            return hops_row(i).astype(np.float64)
+
+        return row
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,194 @@
+"""Microbenchmark harness for the simulator's hot paths.
+
+``python -m repro.perf`` times the layers the DES optimisation work
+targets and emits a ``BENCH_<n>.json`` with before/after numbers:
+
+* **tree generation** — raw node-expansion rate of the UTS generator
+  driven through the chunked stack (the simulator's inner loop without
+  any event machinery);
+* **selector sampling** — ``next_victim()`` draw rate for the paper's
+  three selector families over a real placement;
+* **event throughput** — the headline number: events/second of a full
+  ``Cluster.run`` on the Fig 2 configuration (T3M tree, 32 ranks,
+  reference selector);
+* **end-to-end** — wall time of that same run;
+* **placement scale** — building an 8192-rank placement and proving
+  the lazy :class:`~repro.net.pairwise.PairwiseMetric` rows never
+  materialise a dense N x N matrix.
+
+Scenario functions are plain callables returning dicts so tests can
+drive them with small sizes; the CLI composes them into the JSON
+artifact (see ``__main__``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.experiments import experiment_config
+from repro.net.allocation import allocation_by_name, build_placement
+from repro.sim.cluster import Cluster
+from repro.uts.stack import ChunkedStack
+from repro.uts.tree import TreeGenerator
+from repro.uts.params import tree_by_name
+
+__all__ = [
+    "PRE_PR_BASELINE",
+    "bench_tree_generation",
+    "bench_selector_sampling",
+    "bench_event_throughput",
+    "bench_placement_scale",
+]
+
+#: Event throughput of the Fig 2 configuration measured at the commit
+#: immediately before the DES optimisation pass.  The "before" half of
+#: the before/after record.  Measured *interleaved* with the optimised
+#: build on the same machine state (alternating subprocess runs against
+#: a worktree of the baseline commit, best of 8) so the ratio is not
+#: polluted by container CPU-speed drift.
+PRE_PR_BASELINE = {
+    "events_per_sec": 53333,
+    "commit": "8a80598",
+    "config": "T3M, 32 ranks, 1/N, reference, steal-one",
+    "method": "interleaved best-of-8 vs optimised build, same machine state",
+}
+
+
+def bench_tree_generation(
+    tree: str = "T3M", max_nodes: int = 200_000, poll_interval: int = 2
+) -> dict:
+    """Expand ``tree`` through the chunked stack; report nodes/sec.
+
+    Mirrors the simulator's quantum loop (pop a quantum, expand, push
+    children) with no event queue, isolating generator + stack cost.
+    """
+    generator = TreeGenerator(tree_by_name(tree))
+    stack = ChunkedStack(20)
+    state, depth = generator.root()
+    t0 = time.perf_counter()
+    stack.push_batch_list([state], [depth])
+    nodes = 0
+    use_list = generator.supports_list_path
+    while stack._chunks and nodes < max_nodes:
+        if use_list:
+            states, depths = stack.pop_batch_list(poll_interval)
+            cs, cd = generator.children_list(states, depths)
+            if cs:
+                stack.push_batch_list(cs, cd)
+            nodes += len(states)
+        else:
+            states, depths = stack.pop_batch(poll_interval)
+            cs, cd, _ = generator.children_batch(states, depths)
+            if len(cs):
+                stack.push_batch(cs, cd)
+            nodes += len(states)
+    elapsed = time.perf_counter() - t0
+    return {
+        "tree": tree,
+        "nodes": nodes,
+        "seconds": round(elapsed, 6),
+        "nodes_per_sec": round(nodes / elapsed) if elapsed else None,
+    }
+
+
+def bench_selector_sampling(
+    nranks: int = 64, draws: int = 50_000, seed: int = 0
+) -> dict:
+    """Victim-draw rate for the paper's selector families."""
+    from repro.core.victim import selector_by_name
+
+    placement = build_placement(nranks, allocation_by_name("1/N"))
+    out: dict[str, dict] = {}
+    for name in ("reference", "rand", "tofu"):
+        factory = selector_by_name(name)
+        selector = factory.make(0, nranks, placement, seed=seed)
+        next_victim = selector.next_victim
+        t0 = time.perf_counter()
+        for _ in range(draws):
+            next_victim()
+        elapsed = time.perf_counter() - t0
+        out[name] = {
+            "draws": draws,
+            "seconds": round(elapsed, 6),
+            "draws_per_sec": round(draws / elapsed) if elapsed else None,
+        }
+    return {"nranks": nranks, "selectors": out}
+
+
+def bench_event_throughput(
+    tree: str = "T3M", nranks: int = 32, trials: int = 3
+) -> dict:
+    """The headline: full ``Cluster.run`` on the Fig 2 configuration.
+
+    Reports the best events/sec over ``trials`` runs (the run is
+    deterministic; trials only absorb machine noise) plus the wall
+    time of the best run as the end-to-end figure.
+    """
+    cfg = experiment_config(
+        tree, nranks, allocation="1/N", selector="reference", steal_policy="one"
+    )
+    best_evps = 0.0
+    best_seconds = None
+    events = nodes = 0
+    for _ in range(trials):
+        cluster = Cluster(cfg)
+        t0 = time.perf_counter()
+        outcome = cluster.run()
+        elapsed = time.perf_counter() - t0
+        events = outcome.events_processed
+        nodes = outcome.total_nodes
+        evps = events / elapsed
+        if evps > best_evps:
+            best_evps = evps
+            best_seconds = elapsed
+    return {
+        "tree": tree,
+        "nranks": nranks,
+        "trials": trials,
+        "events": events,
+        "nodes": nodes,
+        "seconds": round(best_seconds, 6) if best_seconds else None,
+        "events_per_sec": round(best_evps),
+    }
+
+
+def bench_placement_scale(nranks: int = 8192, sample_rows: int = 16) -> dict:
+    """Build a large placement and prove the lazy-row path held.
+
+    Touches a spread of latency/euclidean/hops rows (what selectors
+    and the transport do) and asserts no metric materialised a dense
+    N x N matrix along the way.
+    """
+    t0 = time.perf_counter()
+    placement = build_placement(nranks, allocation_by_name("1/N"))
+    build_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    step = max(1, nranks // sample_rows)
+    for i in range(0, nranks, step):
+        placement.latency.row(i)
+        placement.euclidean.row(i)
+        placement.hops.row(i)
+    row_seconds = time.perf_counter() - t0
+
+    dense_calls = (
+        placement.latency.dense_calls
+        + placement.euclidean.dense_calls
+        + placement.hops.dense_calls
+    )
+    if dense_calls:
+        raise AssertionError(
+            f"{nranks}-rank placement took the dense escape hatch "
+            f"{dense_calls} times"
+        )
+    return {
+        "nranks": nranks,
+        "build_seconds": round(build_seconds, 6),
+        "row_sample_seconds": round(row_seconds, 6),
+        "rows_sampled": 3 * len(range(0, nranks, step)),
+        "dense_calls": dense_calls,
+        "materialised": any(
+            m.materialised
+            for m in (placement.latency, placement.euclidean, placement.hops)
+        ),
+    }

@@ -1,0 +1,151 @@
+"""CLI for the perf harness: ``python -m repro.perf``.
+
+Usage::
+
+    python -m repro.perf                 # full suite, writes BENCH_2.json
+    python -m repro.perf --quick         # CI smoke sizes (~seconds)
+    python -m repro.perf --out perf.json --trials 5
+
+The JSON artifact carries both halves of the before/after record: the
+pre-optimisation baseline (:data:`repro.perf.PRE_PR_BASELINE`, measured
+on the commit before the DES optimisation pass) and the numbers from
+this run, plus their ratio.  Absolute numbers vary per machine — the
+meaningful figure is the speedup of the headline events/sec, measured
+on the same machine as the baseline it is compared against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+
+from repro.perf import (
+    PRE_PR_BASELINE,
+    bench_event_throughput,
+    bench_placement_scale,
+    bench_selector_sampling,
+    bench_tree_generation,
+)
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Time the simulator's hot paths and emit BENCH JSON.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_2.json",
+        help="output JSON path (default: BENCH_2.json)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="event-throughput trials (default: 3, quick: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        trials = args.trials or 2
+        sizes = dict(
+            gen_nodes=30_000,
+            sel_draws=10_000,
+            throughput_tree="T3S",
+            throughput_ranks=16,
+            placement_ranks=1024,
+        )
+    else:
+        trials = args.trials or 3
+        sizes = dict(
+            gen_nodes=200_000,
+            sel_draws=50_000,
+            throughput_tree="T3M",
+            throughput_ranks=32,
+            placement_ranks=8192,
+        )
+
+    def stage(label):
+        print(f"[perf] {label} ...", file=sys.stderr, flush=True)
+
+    stage("tree generation")
+    tree_gen = bench_tree_generation(max_nodes=sizes["gen_nodes"])
+    stage("selector sampling")
+    selectors = bench_selector_sampling(draws=sizes["sel_draws"])
+    stage(
+        f"event throughput ({sizes['throughput_tree']}, "
+        f"{sizes['throughput_ranks']} ranks, {trials} trials)"
+    )
+    throughput = bench_event_throughput(
+        tree=sizes["throughput_tree"],
+        nranks=sizes["throughput_ranks"],
+        trials=trials,
+    )
+    stage(f"placement scale ({sizes['placement_ranks']} ranks)")
+    placement = bench_placement_scale(nranks=sizes["placement_ranks"])
+
+    headline = {
+        "events_per_sec": throughput["events_per_sec"],
+        "baseline_events_per_sec": PRE_PR_BASELINE["events_per_sec"],
+        "speedup": round(
+            throughput["events_per_sec"] / PRE_PR_BASELINE["events_per_sec"], 2
+        ),
+        "comparable_to_baseline": not args.quick,
+    }
+    report = {
+        "schema": "repro-perf-v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "baseline": PRE_PR_BASELINE,
+        "results": {
+            "tree_generation": tree_gen,
+            "selector_sampling": selectors,
+            "event_throughput": throughput,
+            "placement_scale": placement,
+        },
+        "headline": headline,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(json.dumps(headline, indent=2))
+    print(f"[perf] wrote {args.out}", file=sys.stderr)
+    if args.quick:
+        print(
+            "[perf] note: --quick sizes differ from the baseline config; "
+            "the speedup field is not machine-comparable in this mode",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ traffic to the termination detector.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 
@@ -22,7 +23,12 @@ from repro.net.allocation import Placement, build_placement
 from repro.net.contention import NicContention
 from repro.sim.clock import ClockSkewModel
 from repro.sim.engine import EVT_EXEC, EVT_MSG, EventQueue
-from repro.sim.messages import Finish, StealResponse, Token
+from repro.sim.messages import (
+    TAG_STEAL_RESPONSE,
+    TAG_TOKEN,
+    Finish,
+    Token,
+)
 from repro.sim.termination import DijkstraTermination, TokenAction
 from repro.sim.worker import Worker, WorkerStatus
 from repro.uts.tree import TreeGenerator
@@ -62,6 +68,7 @@ class Cluster:
             topology_factory=config.topology_factory,
         )
         self._latency = self.placement.latency
+        self._latency_value = self._latency.value
         self.engine = (
             EventQueue(max_events) if max_events is not None else EventQueue()
         )
@@ -121,6 +128,7 @@ class Cluster:
         self._finishing = False
         self._messages_dropped = 0
         self._node_budget = config.node_cap
+        self._nodes_total = 0
         self._nic_enabled = self.nic.enabled
 
     # ------------------------------------------------------------------
@@ -135,8 +143,11 @@ class Cluster:
             # like an MPI job tearing down.
             self._messages_dropped += 1
             return
-        wire = self._latency[src, dst]
-        if isinstance(payload, StealResponse) and payload.has_work:
+        wire = self._latency_value(src, dst)
+        if (
+            getattr(payload, "tag", None) == TAG_STEAL_RESPONSE
+            and payload.chunks is not None
+        ):
             wire += payload.nodes * self.config.transfer_time_per_node
         if self._nic_enabled:
             depart = self.nic.inject(src, when)
@@ -146,13 +157,29 @@ class Cluster:
         self.engine.push(arrival, EVT_MSG, dst, payload)
 
     def schedule_exec(self, rank: int, when: float) -> None:
-        self.engine.push(when, EVT_EXEC, rank, None)
+        # Inlined EventQueue.push: one EXEC event per work quantum
+        # makes this the most-called transport method by far.
+        engine = self.engine
+        if when < engine.now:
+            raise SimulationError(
+                f"event scheduled at {when} before current time {engine.now}"
+            )
+        heapq.heappush(engine._heap, (when, engine._seq, EVT_EXEC, rank, None))
+        engine._seq += 1
 
     def rank_became_idle(self, rank: int, when: float) -> None:
         self._dispatch_token_action(rank, self.termination.rank_idle(rank), when)
 
     def work_sent(self, rank: int) -> None:
         self.termination.work_sent(rank)
+
+    def nodes_executed(self, n: int) -> None:
+        """Workers report expanded nodes; enforces the node budget O(1)."""
+        self._nodes_total += n
+        if self._nodes_total > self._node_budget:
+            raise SimulationError(
+                f"run exceeded node cap {self._node_budget}"
+            )
 
     def local_time(self, rank: int, true_time: float) -> float:
         return self.clock.local_time(rank, true_time)
@@ -166,25 +193,38 @@ class Cluster:
         for worker in self.workers:
             worker.start(0.0)
 
-        node_check_mask = 0x3FF  # check the node budget every 1024 events
-        while not self.engine.empty:
-            time, kind, rank, payload = self.engine.pop()
-            if kind == EVT_EXEC:
-                self.workers[rank].on_exec(time)
-            elif isinstance(payload, Token):
-                worker = self.workers[rank]
-                action = self.termination.token_arrived(
-                    rank, payload.color, worker.status is WorkerStatus.WAITING
-                )
-                self._dispatch_token_action(rank, action, time)
-            else:
-                self.workers[rank].on_message(time, payload)
-            if (self.engine.processed & node_check_mask) == 0:
-                total = sum(w.nodes_processed for w in self.workers)
-                if total > self._node_budget:
+        # Hot loop: EventQueue.pop is inlined (heap access + clock
+        # advance), dispatch is on integer tags, and the node budget is
+        # enforced incrementally through ``nodes_executed`` (the old
+        # per-1024-events re-sum over all workers is gone).
+        engine = self.engine
+        heap = engine._heap
+        heappop = heapq.heappop
+        workers = self.workers
+        max_events = engine._max_events
+        processed = engine._processed
+        try:
+            while heap:
+                time, _seq, kind, rank, payload = heappop(heap)
+                engine.now = time
+                processed += 1
+                if processed > max_events:
                     raise SimulationError(
-                        f"run exceeded node cap {self._node_budget}"
+                        f"simulation exceeded {max_events} events "
+                        "(livelock or runaway configuration?)"
                     )
+                if kind == EVT_EXEC:
+                    workers[rank].on_exec(time)
+                elif payload.tag == TAG_TOKEN:
+                    worker = workers[rank]
+                    action = self.termination.token_arrived(
+                        rank, payload.color, worker.status is WorkerStatus.WAITING
+                    )
+                    self._dispatch_token_action(rank, action, time)
+                else:
+                    workers[rank].on_message(time, payload)
+        finally:
+            engine._processed = processed
 
         if sum(w.nodes_processed for w in self.workers) > self._node_budget:
             raise SimulationError(
@@ -244,7 +284,8 @@ class Cluster:
         self._messages_dropped += dropped
         self._finishing = True
         self.workers[0].on_message(when, Finish())
+        row0 = self._latency.row(0)
         for rank in range(1, self.config.nranks):
             self.engine.push(
-                when + self._latency[0, rank], EVT_MSG, rank, Finish()
+                when + row0[rank], EVT_MSG, rank, Finish()
             )

@@ -34,6 +34,8 @@ class EventQueue:
     makes the ordering total and FIFO among equal timestamps.
     """
 
+    __slots__ = ("_heap", "_seq", "_processed", "_max_events", "now")
+
     def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
         if max_events < 1:
             raise SimulationError(f"max_events must be >= 1, got {max_events}")

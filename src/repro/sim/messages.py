@@ -11,6 +11,11 @@ and send it to the stealer."
   ``None`` (failed steal);
 * :class:`Token` — the termination-detection token (white/black);
 * :class:`Finish` — rank 0's broadcast that the computation is over.
+
+Every message class carries an integer ``tag`` class attribute (the
+``TAG_*`` constants).  The event loop and the workers dispatch on the
+tag with plain integer comparisons instead of ``isinstance`` chains —
+one attribute load and an int compare per message on the DES hot path.
 """
 
 from __future__ import annotations
@@ -26,14 +31,30 @@ __all__ = [
     "LifelineDeregister",
     "WHITE",
     "BLACK",
+    "TAG_STEAL_REQUEST",
+    "TAG_STEAL_RESPONSE",
+    "TAG_TOKEN",
+    "TAG_FINISH",
+    "TAG_LIFELINE_REGISTER",
+    "TAG_LIFELINE_DEREGISTER",
 ]
 
 WHITE = 0
 BLACK = 1
 
+# Integer dispatch tags, one per message class (see module docs).
+TAG_STEAL_REQUEST = 0
+TAG_STEAL_RESPONSE = 1
+TAG_TOKEN = 2
+TAG_FINISH = 3
+TAG_LIFELINE_REGISTER = 4
+TAG_LIFELINE_DEREGISTER = 5
+
 
 class StealRequest:
     """A steal attempt posted by ``thief``."""
+
+    tag = TAG_STEAL_REQUEST
 
     __slots__ = ("thief",)
 
@@ -46,6 +67,8 @@ class StealRequest:
 
 class StealResponse:
     """The victim's answer: ``chunks`` is None for a failed steal."""
+
+    tag = TAG_STEAL_RESPONSE
 
     __slots__ = ("victim", "chunks")
 
@@ -69,6 +92,8 @@ class StealResponse:
 class Token:
     """Termination token circulating the ring (see ``termination``)."""
 
+    tag = TAG_TOKEN
+
     __slots__ = ("color",)
 
     def __init__(self, color: int):
@@ -83,6 +108,8 @@ class Token:
 class Finish:
     """Termination broadcast from rank 0."""
 
+    tag = TAG_FINISH
+
     __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -91,6 +118,8 @@ class Finish:
 
 class LifelineRegister:
     """A starving thief arms its lifeline at a partner (extension)."""
+
+    tag = TAG_LIFELINE_REGISTER
 
     __slots__ = ("thief",)
 
@@ -103,6 +132,8 @@ class LifelineRegister:
 
 class LifelineDeregister:
     """A woken thief disarms its lifelines (extension)."""
+
+    tag = TAG_LIFELINE_DEREGISTER
 
     __slots__ = ("thief",)
 

@@ -30,9 +30,15 @@ from repro.core.steal_policy import StealPolicy
 from repro.core.tracing import TraceRecorder
 from repro.core.victim import VictimSelector
 from repro.errors import SimulationError
-from repro.sim.messages import Finish, StealRequest, StealResponse
+from repro.sim.messages import (
+    TAG_FINISH,
+    TAG_STEAL_REQUEST,
+    TAG_STEAL_RESPONSE,
+    StealRequest,
+    StealResponse,
+)
 from repro.uts.stack import ChunkedStack
-from repro.uts.tree import TreeGenerator
+from repro.uts.tree import SCALAR_BATCH_CUTOFF, TreeGenerator
 
 __all__ = ["WorkerStatus", "Transport", "Worker"]
 
@@ -66,6 +72,45 @@ class Transport(Protocol):
 
 class Worker:
     """One simulated MPI rank."""
+
+    __slots__ = (
+        "rank",
+        "nranks",
+        "generator",
+        "selector",
+        "policy",
+        "transport",
+        "poll_interval",
+        "per_node_time",
+        "steal_service_time",
+        "stack",
+        "status",
+        "pending",
+        "trace",
+        "nodes_processed",
+        "steal_requests_sent",
+        "failed_steals",
+        "successful_steals",
+        "requests_served",
+        "requests_denied",
+        "chunks_sent",
+        "nodes_sent",
+        "chunks_received",
+        "nodes_received",
+        "service_time",
+        "finish_time",
+        "sessions",
+        "_session_start",
+        "_session_attempts",
+        "_scalar_path",
+        "_notify_nodes",
+        "_pop_list",
+        "_push_list",
+        "_children_list",
+        "_fused_expand",
+        "_schedule_exec",
+        "_plain_serve",
+    )
 
     def __init__(
         self,
@@ -116,6 +161,29 @@ class Worker:
         self._session_start: float | None = None
         self._session_attempts = 0
 
+        # Hot-path plumbing.  The list-based expansion avoids ndarray
+        # traffic on the tiny per-quantum batches the simulator runs
+        # (bit-identical results; see ``TreeGenerator.children_list``).
+        self._scalar_path = (
+            generator.supports_list_path
+            and poll_interval <= SCALAR_BATCH_CUTOFF
+        )
+        # Optional transport hook: the cluster keeps a running node
+        # total for O(1) budget checks; bare test transports omit it.
+        self._notify_nodes = getattr(transport, "nodes_executed", None)
+        # Bound-method caches for the per-quantum call chain.  The
+        # stack and generator are fixed for the worker's lifetime;
+        # ``send`` is deliberately NOT cached (tests patch it).
+        self._pop_list = self.stack.pop_batch_list
+        self._push_list = self.stack.push_batch_list
+        self._children_list = generator.children_list
+        self._fused_expand = self.stack.expand_quantum
+        self._schedule_exec = transport.schedule_exec
+        # Subclasses that override _serve_pending (lifelines) do work
+        # even with no pending requests, so only plain workers may
+        # skip the call when the queue is empty.
+        self._plain_serve = type(self)._serve_pending is Worker._serve_pending
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -144,10 +212,24 @@ class Worker:
             raise SimulationError(
                 f"rank {self.rank}: EXEC while {self.status.name}"
             )
-        t = self._serve_pending(now)
-        if not self.stack.is_empty:
-            t_next = t + self._expand_quantum()
-            self.transport.schedule_exec(self.rank, t_next)
+        if self._plain_serve and not self.pending:
+            t = now
+        else:
+            t = self._serve_pending(now)
+        if self.stack._chunks:
+            if self._scalar_path:
+                # Fused quantum on the scalar fast path — identical
+                # semantics to ``_expand_quantum``, one call on the
+                # simulator's hottest edge.
+                n = self._fused_expand(self.poll_interval, self._children_list)
+                self.nodes_processed += n
+                notify = self._notify_nodes
+                if notify is not None:
+                    notify(n)
+                t_next = t + n * self.per_node_time
+            else:
+                t_next = t + self._expand_quantum()
+            self._schedule_exec(self.rank, t_next)
         else:
             self._go_idle(t)
 
@@ -155,7 +237,8 @@ class Worker:
         """A message arrived at this rank at (true) time ``now``."""
         if self.status is WorkerStatus.DONE:
             return  # post-termination stragglers are dropped
-        if isinstance(msg, StealRequest):
+        tag = getattr(msg, "tag", None)
+        if tag == TAG_STEAL_REQUEST:
             if self.status is WorkerStatus.RUNNING:
                 self.pending.append(msg)
             else:
@@ -164,9 +247,9 @@ class Worker:
                 self.transport.send(
                     self.rank, msg.thief, StealResponse(self.rank, None), now
                 )
-        elif isinstance(msg, StealResponse):
+        elif tag == TAG_STEAL_RESPONSE:
             self._on_response(now, msg)
-        elif isinstance(msg, Finish):
+        elif tag == TAG_FINISH:
             self._on_finish(now)
         else:
             raise SimulationError(
@@ -206,15 +289,31 @@ class Worker:
         return t
 
     def _expand_quantum(self) -> float:
-        """Expand up to ``poll_interval`` nodes; return the time spent."""
-        states, depths = self.stack.pop_batch(self.poll_interval)
-        n = len(states)
-        child_states, child_depths, _counts = self.generator.children_batch(
-            states, depths
-        )
-        if child_states.size:
-            self.stack.push_batch(child_states, child_depths)
+        """Expand up to ``poll_interval`` nodes; return the time spent.
+
+        Generic (array) path; ``on_exec`` inlines the equivalent
+        list-based expansion when :attr:`_scalar_path` is set.
+        """
+        if self._scalar_path:
+            stack = self.stack
+            states, depths = stack.pop_batch_list(self.poll_interval)
+            n = len(states)
+            child_states, child_depths = self.generator.children_list(
+                states, depths
+            )
+            if child_states:
+                stack.push_batch_list(child_states, child_depths)
+        else:
+            states, depths = self.stack.pop_batch(self.poll_interval)
+            n = len(states)
+            child_states, child_depths, _counts = self.generator.children_batch(
+                states, depths
+            )
+            if child_states.size:
+                self.stack.push_batch(child_states, child_depths)
         self.nodes_processed += n
+        if self._notify_nodes is not None:
+            self._notify_nodes(n)
         return n * self.per_node_time
 
     def _go_idle(self, t: float) -> None:

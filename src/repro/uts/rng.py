@@ -50,6 +50,7 @@ UINT31_MAX = 1 << 31
 
 _U64 = np.uint64
 _GOLDEN = 0x9E3779B97F4A7C15  # 2^64 / phi, the SplitMix64 increment
+_SHA1_PAIR = struct.Struct(">QI")  # (parent_state, child_index) payload
 
 
 class RngBackend(ABC):
@@ -126,9 +127,33 @@ class Sha1Backend(RngBackend):
         return int.from_bytes(digest[:8], "big")
 
     def spawn(self, state: int, index: int) -> int:
-        payload = struct.pack(">QI", state & 0xFFFFFFFFFFFFFFFF, index & 0xFFFFFFFF)
+        payload = _SHA1_PAIR.pack(state & 0xFFFFFFFFFFFFFFFF, index & 0xFFFFFFFF)
         digest = hashlib.sha1(payload).digest()
         return int.from_bytes(digest[:8], "big")
+
+    def spawn_array(self, states: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Batched :meth:`spawn` without per-element boxing overhead.
+
+        SHA-1 itself cannot be vectorised, but hoisting the struct
+        packer, the hash constructor and the int conversion out of the
+        loop — and iterating plain Python ints instead of NumPy
+        scalars — makes batch spawning several times faster than the
+        generic fallback while remaining bit-identical to it.
+        """
+        states = np.asarray(states, dtype=np.uint64)
+        indices = np.asarray(indices, dtype=np.uint64)
+        if states.shape != indices.shape:
+            raise ConfigurationError(
+                f"states shape {states.shape} != indices shape {indices.shape}"
+            )
+        pack = _SHA1_PAIR.pack
+        sha1 = hashlib.sha1
+        from_bytes = int.from_bytes
+        out = [
+            from_bytes(sha1(pack(s, i & 0xFFFFFFFF)).digest()[:8], "big")
+            for s, i in zip(states.ravel().tolist(), indices.ravel().tolist())
+        ]
+        return np.array(out, dtype=np.uint64).reshape(states.shape)
 
 
 def _mix64(z: np.ndarray) -> np.ndarray:

@@ -18,6 +18,15 @@ except the top one is full**: new chunks are only created when the top
 chunk overflows, pops only drain the top, and steals only remove
 bottom (full) chunks.  Tests assert this invariant under random
 operation sequences.
+
+Chunks store their nodes as plain Python lists.  The simulator expands
+millions of quanta of a handful of nodes each, and at that granularity
+list slicing beats ndarray round trips by a wide margin; the array API
+(:meth:`ChunkedStack.push_batch` / :meth:`ChunkedStack.pop_batch`)
+converts at the boundary, the list API
+(:meth:`ChunkedStack.push_batch_list` /
+:meth:`ChunkedStack.pop_batch_list`) never leaves Python.  Both APIs
+produce identical stack layouts and identical node orderings.
 """
 
 from __future__ import annotations
@@ -30,7 +39,11 @@ __all__ = ["Chunk", "ChunkedStack"]
 
 
 class Chunk:
-    """A fixed-capacity block of tree nodes (states + depths)."""
+    """A fixed-capacity block of tree nodes (states + depths).
+
+    ``states``/``depths`` are Python lists whose length is always
+    ``size``; the array-taking methods convert on entry and exit.
+    """
 
     __slots__ = ("states", "depths", "size", "capacity")
 
@@ -38,8 +51,8 @@ class Chunk:
         if capacity < 1:
             raise StackError(f"chunk capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self.states = np.empty(capacity, dtype=np.uint64)
-        self.depths = np.empty(capacity, dtype=np.int32)
+        self.states: list[int] = []
+        self.depths: list[int] = []
         self.size = 0
 
     @classmethod
@@ -49,8 +62,8 @@ class Chunk:
         if n > capacity:
             raise StackError(f"{n} nodes exceed chunk capacity {capacity}")
         chunk = cls(capacity)
-        chunk.states[:n] = states
-        chunk.depths[:n] = depths
+        chunk.states = np.asarray(states, dtype=np.uint64).tolist()
+        chunk.depths = np.asarray(depths, dtype=np.int32).tolist()
         chunk.size = n
         return chunk
 
@@ -70,21 +83,29 @@ class Chunk:
         """Append as many of the given nodes as fit; return how many."""
         n = min(len(states), self.free)
         if n:
-            self.states[self.size : self.size + n] = states[:n]
-            self.depths[self.size : self.size + n] = depths[:n]
+            self.states.extend(np.asarray(states[:n], dtype=np.uint64).tolist())
+            self.depths.extend(np.asarray(depths[:n], dtype=np.int32).tolist())
             self.size += n
         return n
 
     def pop(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         """Remove and return up to ``n`` nodes from the top of the chunk."""
         n = min(n, self.size)
+        if n == 0:
+            return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int32)
         self.size -= n
-        lo, hi = self.size, self.size + n
-        return self.states[lo:hi].copy(), self.depths[lo:hi].copy()
+        s = self.states[-n:]
+        d = self.depths[-n:]
+        del self.states[-n:]
+        del self.depths[-n:]
+        return np.array(s, dtype=np.uint64), np.array(d, dtype=np.int32)
 
     def view(self) -> tuple[np.ndarray, np.ndarray]:
-        """Read-only views of the live portion (no copy)."""
-        return self.states[: self.size], self.depths[: self.size]
+        """The live contents as arrays (copies; the chunk keeps lists)."""
+        return (
+            np.array(self.states, dtype=np.uint64),
+            np.array(self.depths, dtype=np.int32),
+        )
 
     def __len__(self) -> int:
         return self.size
@@ -153,45 +174,133 @@ class ChunkedStack:
         """Push nodes on top of the stack, spilling into new chunks."""
         states = np.asarray(states, dtype=np.uint64)
         depths = np.asarray(depths, dtype=np.int32)
+        self.push_batch_list(states.tolist(), depths.tolist())
+
+    def push_batch_list(self, states: list[int], depths: list[int]) -> None:
+        """Push nodes held in plain Python lists (hot-path variant).
+
+        Same spill behaviour and resulting chunk layout as
+        :meth:`push_batch`, with no ndarray traffic.
+        """
         n = len(states)
         if n == 0:
             return
         self.total_pushed += n
+        chunks = self._chunks
         offset = 0
-        if self._chunks and not self._chunks[-1].is_full:
-            offset = self._chunks[-1].push(states, depths)
+        if chunks:
+            top = chunks[-1]
+            free = top.capacity - top.size
+            if free:
+                if free >= n:
+                    # Common case: the whole batch fits in the top chunk.
+                    top.states += states
+                    top.depths += depths
+                    top.size += n
+                    return
+                top.states += states[:free]
+                top.depths += depths[:free]
+                top.size += free
+                offset = free
+        capacity = self.chunk_size
         while offset < n:
-            take = min(self.chunk_size, n - offset)
-            self._chunks.append(
-                Chunk.from_arrays(
-                    states[offset : offset + take],
-                    depths[offset : offset + take],
-                    self.chunk_size,
-                )
-            )
+            take = min(capacity, n - offset)
+            chunk = Chunk(capacity)
+            chunk.states = states[offset : offset + take]
+            chunk.depths = depths[offset : offset + take]
+            chunk.size = take
+            chunks.append(chunk)
             offset += take
 
     def pop_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         """Pop up to ``n`` nodes from the top of the stack."""
+        states, depths = self.pop_batch_list(n)
+        return (
+            np.array(states, dtype=np.uint64),
+            np.array(depths, dtype=np.int32),
+        )
+
+    def pop_batch_list(self, n: int) -> tuple[list[int], list[int]]:
+        """Pop up to ``n`` nodes as plain Python lists (hot-path variant).
+
+        Returns the same nodes in the same order as :meth:`pop_batch` —
+        per drained chunk the popped segment keeps its in-chunk order,
+        newest chunk first.
+        """
+        chunks = self._chunks
+        if chunks:
+            top = chunks[-1]
+            if top.size > n > 0:
+                # Common case: the top chunk covers the whole request.
+                top.size -= n
+                s = top.states[-n:]
+                d = top.depths[-n:]
+                del top.states[-n:]
+                del top.depths[-n:]
+                self.total_popped += n
+                return s, d
         if n < 0:
             raise StackError(f"cannot pop {n} nodes")
-        out_states: list[np.ndarray] = []
-        out_depths: list[np.ndarray] = []
+        states: list[int] = []
+        depths: list[int] = []
         remaining = n
-        while remaining > 0 and self._chunks:
-            top = self._chunks[-1]
-            s, d = top.pop(remaining)
-            out_states.append(s)
-            out_depths.append(d)
-            remaining -= len(s)
-            if top.is_empty:
-                self._chunks.pop()
-        if not out_states:
-            return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int32)
-        states = np.concatenate(out_states)
-        depths = np.concatenate(out_depths)
+        while remaining > 0 and chunks:
+            top = chunks[-1]
+            if remaining >= top.size:
+                remaining -= top.size
+                states += top.states
+                depths += top.depths
+                chunks.pop()
+            else:
+                top.size -= remaining
+                states += top.states[-remaining:]
+                depths += top.depths[-remaining:]
+                del top.states[-remaining:]
+                del top.depths[-remaining:]
+                remaining = 0
         self.total_popped += len(states)
         return states, depths
+
+    def expand_quantum(self, n: int, children_fn) -> int:
+        """Pop up to ``n`` nodes, expand them, push the children.
+
+        Exactly equivalent to ``pop_batch_list(n)`` + ``children_fn`` +
+        ``push_batch_list(...)`` — one fused call for the simulator's
+        per-quantum edge, with the single-top-chunk case (by far the
+        most common at paper poll intervals) handled without any
+        intermediate bookkeeping.  ``children_fn(states, depths)``
+        must return ``(child_states, child_depths)`` lists.  Returns
+        the number of nodes popped.
+        """
+        chunks = self._chunks
+        if not chunks:
+            return 0
+        top = chunks[-1]
+        if top.size > n > 0:
+            top.size -= n
+            ts = top.states
+            td = top.depths
+            states = ts[-n:]
+            depths = td[-n:]
+            del ts[-n:]
+            del td[-n:]
+            self.total_popped += n
+            npop = n
+        else:
+            states, depths = self.pop_batch_list(n)
+            npop = len(states)
+        child_states, child_depths = children_fn(states, depths)
+        nch = len(child_states)
+        if nch:
+            top = chunks[-1] if chunks else None
+            if top is not None and top.capacity - top.size >= nch:
+                top.states += child_states
+                top.depths += child_depths
+                top.size += nch
+                self.total_pushed += nch
+            else:
+                self.push_batch_list(child_states, child_depths)
+        return npop
 
     # ------------------------------------------------------------------
     # Thief operations (remove whole chunks from the bottom)

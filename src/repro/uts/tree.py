@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.uts.params import TreeParams
-from repro.uts.rng import UINT31_MAX, RngBackend, SplitMix64Backend
+from repro.uts.rng import _GOLDEN, UINT31_MAX, RngBackend, SplitMix64Backend
 
 __all__ = ["MAX_GEO_CHILDREN", "TreeGenerator"]
 
@@ -63,6 +63,17 @@ class TreeGenerator:
         self._fast_binomial = params.tree_type == "binomial" and isinstance(
             self.backend, SplitMix64Backend
         )
+        # Precomputed SplitMix spawn increments ((i+1) * GOLDEN mod
+        # 2^64 for sibling i) so the scalar hot loop adds a cached
+        # 64-bit constant instead of multiplying big ints per child.
+        if self._fast_binomial:
+            mask64 = 0xFFFFFFFFFFFFFFFF
+            self._incs_m: tuple[int, ...] = tuple(
+                (i * _GOLDEN) & mask64 for i in range(1, params.m + 1)
+            )
+        else:
+            self._incs_m = ()
+        self._incs_b0: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # Root
@@ -128,6 +139,67 @@ class TreeGenerator:
         count = self.count_children(state, depth)
         spawn = self.backend.spawn
         return [spawn(state, i) for i in range(count)], depth + 1
+
+    # ------------------------------------------------------------------
+    # List fast path (simulator hot loop)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_list_path(self) -> bool:
+        """Whether :meth:`children_list` may be used for this tree.
+
+        True for binomial trees over the SplitMix backend — the
+        combination every paper experiment uses.
+        """
+        return self._fast_binomial
+
+    def children_list(
+        self, states: list[int], depths: list[int]
+    ) -> tuple[list[int], list[int]]:
+        """Expand nodes held in plain Python lists (hot-path variant).
+
+        Produces exactly the children :meth:`children_batch` would —
+        same values, parent-major order, siblings ``0..count-1`` —
+        without any ndarray traffic.  Only valid when
+        :attr:`supports_list_path` is true; handles the depth-0 root
+        (``b0`` children) as well as interior nodes.
+        """
+        thr = self._bin_threshold
+        mask64 = 0xFFFFFFFFFFFFFFFF
+        m1 = 0xBF58476D1CE4E5B9
+        m2 = 0x94D049BB133111EB
+        incs_m = self._incs_m
+        child_states: list[int] = []
+        child_depths: list[int] = []
+        append_s = child_states.append
+        append_d = child_depths.append
+        for s, dep in zip(states, depths):
+            if dep:
+                if (s >> 33) >= thr:
+                    continue
+                incs = incs_m
+            else:
+                incs = self._root_incs()
+            d = dep + 1
+            for inc in incs:
+                # Inlined SplitMix64 spawn: add increment, Stafford mix.
+                z = (s + inc) & mask64
+                z = ((z ^ (z >> 30)) * m1) & mask64
+                z = ((z ^ (z >> 27)) * m2) & mask64
+                append_s(z ^ (z >> 31))
+                append_d(d)
+        return child_states, child_depths
+
+    def _root_incs(self) -> tuple[int, ...]:
+        """Spawn increments for the ``b0`` root children (built lazily)."""
+        incs = self._incs_b0
+        if incs is None:
+            mask64 = 0xFFFFFFFFFFFFFFFF
+            incs = tuple(
+                (i * _GOLDEN) & mask64 for i in range(1, self.params.b0 + 1)
+            )
+            self._incs_b0 = incs
+        return incs
 
     # ------------------------------------------------------------------
     # Vectorised batch path

@@ -1,0 +1,115 @@
+"""Property-style invariants over *every* registered victim selector.
+
+``tests/core/test_victim.py`` checks each selector family in detail;
+this module sweeps the whole registry (canonical names plus one
+concrete instance per pattern template) across rank/seed combinations
+and pins the two invariants every selector must satisfy:
+
+* ``next_victim()`` is always in ``[0, nranks)``;
+* a rank never selects itself.
+
+It also carries the regression test for the skewed-sampler edge case:
+a uniform draw arbitrarily close to 1.0 must still map to a valid
+victim even when float rounding leaves the cumulative distribution's
+last edge below the draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import available
+from repro.core.victim import (
+    _SkewedState,
+    selector_by_name,
+    skewed_probabilities,
+)
+from repro.net.allocation import allocation_by_name, build_placement
+
+#: Concrete instantiations for the registry's pattern templates
+#: (``skew[<alpha>]`` etc. are templates, not resolvable names).
+_PATTERN_INSTANCES = {
+    "skew[<alpha>]": "skew[2]",
+    "hier[<p_near>]": "hier[0.75]",
+    "latskew[<alpha>]": "latskew[1.5]",
+}
+
+
+def _all_selector_names() -> list[str]:
+    names = []
+    for name in available("selector"):
+        names.append(_PATTERN_INSTANCES.get(name, name))
+    return names
+
+
+_NRANKS = (2, 5, 16)
+_SEEDS = (0, 1, 12345)
+
+
+@pytest.mark.parametrize("name", _all_selector_names())
+class TestEverySelector:
+    @pytest.mark.parametrize("nranks", _NRANKS)
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_victims_valid_and_never_self(self, name, nranks, seed):
+        factory = selector_by_name(name)
+        placement = build_placement(nranks, allocation_by_name("1/N"))
+        for rank in (0, nranks - 1):
+            selector = factory.make(rank, nranks, placement, seed=seed)
+            for _ in range(300):
+                v = selector.next_victim()
+                assert 0 <= v < nranks, f"{name}: victim {v} out of range"
+                assert v != rank, f"{name}: rank {rank} selected itself"
+
+    def test_survives_notify_feedback(self, name):
+        """Invariants hold when success/failure feedback is interleaved."""
+        nranks = 8
+        factory = selector_by_name(name)
+        placement = build_placement(nranks, allocation_by_name("1/N"))
+        selector = factory.make(3, nranks, placement, seed=7)
+        for i in range(200):
+            v = selector.next_victim()
+            assert 0 <= v < nranks and v != 3
+            selector.notify(v, success=(i % 3 == 0))
+
+
+class TestSkewedProbabilities:
+    @pytest.mark.parametrize("nranks", _NRANKS)
+    @pytest.mark.parametrize("alpha", (0.0, 1.0, 2.5))
+    def test_shape_and_normalisation(self, nranks, alpha):
+        placement = build_placement(nranks, allocation_by_name("1/N"))
+        for rank in range(nranks):
+            p = skewed_probabilities(
+                rank, placement.euclidean.row(rank), alpha=alpha
+            )
+            assert p.shape == (nranks,)
+            assert p[rank] == 0.0
+            assert np.all(p >= 0.0)
+            assert p.sum() == pytest.approx(1.0)
+
+
+class TestSkewedEdgeDraw:
+    """Regression: a draw at ``1 - 2**-53`` (the largest double below
+    1.0) must not index past the cumulative array when rounding has
+    left ``cum[-1]`` slightly under the draw."""
+
+    class _PinnedRng:
+        def __init__(self, value: float):
+            self._value = value
+
+        def random(self, n: int) -> np.ndarray:
+            return np.full(n, self._value)
+
+    def test_max_draw_maps_to_last_victim(self):
+        # Weights chosen so the float cumsum tops out below 1 - 2**-53.
+        weights = np.full(7, 1.0 / 7.0)
+        cum = np.cumsum(weights)
+        draw = 1.0 - 2.0**-53
+        assert cum[-1] < draw  # the hazard this test pins
+        state = _SkewedState(cum, self._PinnedRng(draw))
+        for _ in range(10):
+            v = state.next_victim()
+            assert 0 <= v < 7
+
+    def test_low_and_mid_draws_unaffected(self):
+        cum = np.cumsum(np.full(4, 0.25))
+        assert _SkewedState(cum, self._PinnedRng(0.0)).next_victim() == 0
+        assert _SkewedState(cum, self._PinnedRng(0.6)).next_victim() == 2
