@@ -73,6 +73,13 @@ def main(argv: list[str] | None = None) -> int:
         "cumulative time (forces --jobs 1 so the profile covers the "
         "actual simulation work)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="additionally run the experiment's representative config "
+        "with structured event tracing and write a Chrome-trace JSON "
+        "to benchmarks/_artifacts/<id>.trace.json (see repro.trace)",
+    )
     args = parser.parse_args(argv)
 
     experiment = args.only or args.experiment
@@ -119,7 +126,32 @@ def main(argv: list[str] | None = None) -> int:
     from pprint import pprint
 
     pprint(payload)
+
+    if args.trace:
+        return _emit_trace(experiment)
     return 0
+
+
+def _emit_trace(experiment: str) -> int:
+    """Trace the experiment's representative config (``--trace``)."""
+    from pathlib import Path
+
+    from repro.trace import __main__ as trace_cli
+    from repro.trace.presets import TRACE_PRESETS
+
+    if experiment not in TRACE_PRESETS:
+        print(
+            f"no trace preset for {experiment!r}; available: "
+            f"{list(TRACE_PRESETS)} (see python -m repro.trace --list)",
+            file=sys.stderr,
+        )
+        return 2
+    out_dir = Path("benchmarks") / "_artifacts"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = out_dir / f"{experiment}.trace.json"
+    return trace_cli.main(
+        ["--config", experiment, "--out", str(out), "--check"]
+    )
 
 
 if __name__ == "__main__":

@@ -45,7 +45,15 @@ from repro.net.topology import Topology
 from repro.uts.params import TreeParams, tree_by_name
 from repro.uts.rng import RngBackend, backend_by_name
 
-__all__ = ["WorkStealingConfig"]
+__all__ = ["WorkStealingConfig", "FINGERPRINT_EXCLUDED_FIELDS"]
+
+#: Observability-only fields excluded from config fingerprints.
+#: Tracing never changes a run's physics (the determinism suite pins
+#: this down bit-for-bit), so two configs differing only in these
+#: fields describe the same simulation and must share a fingerprint —
+#: otherwise the result cache would re-run identical physics and
+#: cached results could not satisfy traced requests.
+FINGERPRINT_EXCLUDED_FIELDS = frozenset({"event_trace", "event_trace_capacity"})
 
 
 @dataclass
@@ -81,6 +89,12 @@ class WorkStealingConfig:
     rng_backend: RngBackend | str = "splitmix64"
     seed: int = 0
     trace: bool = False
+    #: Structured steal-event tracing (:mod:`repro.trace`): attaches a
+    #: per-rank :class:`~repro.trace.events.EventRecorder` to every
+    #: worker.  Observability-only — excluded from fingerprints.
+    event_trace: bool = False
+    #: Per-rank event ring-buffer capacity; 0 keeps every event.
+    event_trace_capacity: int = 0
     node_cap: int = 50_000_000
 
     #: Lifeline extension (see :mod:`repro.lifeline`): number of
@@ -122,6 +136,11 @@ class WorkStealingConfig:
         if self.node_cap < 1:
             raise ConfigurationError(
                 f"node_cap must be >= 1, got {self.node_cap}"
+            )
+        if self.event_trace_capacity < 0:
+            raise ConfigurationError(
+                "event_trace_capacity must be >= 0, "
+                f"got {self.event_trace_capacity}"
             )
         if self.lifelines < 0:
             raise ConfigurationError(
@@ -277,6 +296,8 @@ class WorkStealingConfig:
             "rng_backend": self._spec_of("rng_backend", "rng_backend"),
             "seed": self.seed,
             "trace": self.trace,
+            "event_trace": self.event_trace,
+            "event_trace_capacity": self.event_trace_capacity,
             "node_cap": self.node_cap,
             "lifelines": self.lifelines,
             "lifeline_threshold": self.lifeline_threshold,
@@ -312,11 +333,18 @@ class WorkStealingConfig:
         """Stable content hash of the run configuration.
 
         SHA-256 over the canonical (sorted-key, compact) JSON encoding
-        of :meth:`to_dict`.  Two configs share a fingerprint iff they
-        describe the same simulation — this is the key of the
-        :mod:`repro.exec` result cache and batch deduplication.
+        of :meth:`to_dict`, minus the observability-only fields in
+        :data:`FINGERPRINT_EXCLUDED_FIELDS` — two configs share a
+        fingerprint iff they describe the same simulation *physics*
+        (event tracing records the run without changing it).  This is
+        the key of the :mod:`repro.exec` result cache and batch
+        deduplication, and stripping keeps it byte-stable with the
+        fingerprints of configs serialized before the fields existed.
         """
-        payload = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        data = {
+            k: v
+            for k, v in self.to_dict().items()
+            if k not in FINGERPRINT_EXCLUDED_FIELDS
+        }
+        payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()

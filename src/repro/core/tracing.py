@@ -71,6 +71,12 @@ class ActivityTrace:
                     f"rank {rank}: times/states length mismatch "
                     f"({len(times)} vs {len(states)})"
                 )
+            # Non-finite timestamps must be rejected explicitly: NaN
+            # compares False against everything, so a NaN-tainted
+            # trace would sail through the ordering check below and
+            # only corrupt the metrics much later.
+            if times.size and not np.all(np.isfinite(times)):
+                raise TraceError(f"rank {rank}: non-finite timestamps")
             if times.size and np.any(np.diff(times) < 0):
                 raise TraceError(f"rank {rank}: times not sorted")
             if states.size > 1 and np.any(states[1:] == states[:-1]):
@@ -103,6 +109,8 @@ class ActivityTrace:
             raise TraceError(
                 f"offsets shape {offsets.shape} != ({self.nranks},)"
             )
+        if offsets.size and not np.all(np.isfinite(offsets)):
+            raise TraceError("clock offsets must be finite")
         return ActivityTrace(
             [
                 (times + offsets[rank], states.copy())

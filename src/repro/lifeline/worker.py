@@ -31,6 +31,13 @@ from repro.sim.messages import (
     StealResponse,
 )
 from repro.sim.worker import Worker, WorkerStatus
+from repro.trace.events import (
+    EV_LIFELINE_PUSH,
+    EV_LIFELINE_QUIESCE,
+    EV_LIFELINE_WAKE,
+    EV_PUSH_RECV,
+    EV_STEAL_FAIL,
+)
 
 __all__ = ["lifeline_partners", "LifelineWorker"]
 
@@ -114,6 +121,8 @@ class LifelineWorker(Worker):
             self.stack.receive_chunks(msg.chunks)
             self.chunks_received += len(msg.chunks)
             self.nodes_received += msg.nodes
+            if self.events is not None:
+                self.events.append(now, EV_PUSH_RECV, msg.victim, msg.nodes)
             return
         super().on_message(now, msg)
 
@@ -127,9 +136,13 @@ class LifelineWorker(Worker):
             if self._armed:
                 self._disarm(now)
                 self.lifeline_wakeups += 1
+                if self.events is not None:
+                    self.events.append(now, EV_LIFELINE_WAKE, msg.victim)
             super()._on_response(now, msg)
             return
         self.failed_steals += 1
+        if self.events is not None:
+            self.events.append(now, EV_STEAL_FAIL, msg.victim)
         if self.selector is not None:
             self.selector.notify(msg.victim, success=False)
         self._consecutive_failures += 1
@@ -144,6 +157,8 @@ class LifelineWorker(Worker):
         self._quiescent = True
         self._armed = True
         self.quiesce_episodes += 1
+        if self.events is not None:
+            self.events.append(now, EV_LIFELINE_QUIESCE)
         for partner in self.partners:
             self.transport.send(
                 self.rank, partner, LifelineRegister(self.rank), now
@@ -176,9 +191,12 @@ class LifelineWorker(Worker):
             t += self.steal_service_time
             self.service_time += self.steal_service_time
             chunks = self.stack.steal_chunks(take)
+            nodes = sum(c.size for c in chunks)
             self.chunks_sent += len(chunks)
-            self.nodes_sent += sum(c.size for c in chunks)
+            self.nodes_sent += nodes
             self.lifeline_pushes += 1
+            if self.events is not None:
+                self.events.append(t, EV_LIFELINE_PUSH, thief, nodes)
             self.transport.work_sent(self.rank)
             self.transport.send(
                 self.rank, thief, StealResponse(self.rank, chunks), t

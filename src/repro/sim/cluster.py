@@ -31,6 +31,7 @@ from repro.sim.messages import (
 )
 from repro.sim.termination import DijkstraTermination, TokenAction
 from repro.sim.worker import Worker, WorkerStatus
+from repro.trace.events import EV_TOKEN, EventRecorder
 from repro.uts.tree import TreeGenerator
 
 __all__ = ["Cluster", "SimOutcome"]
@@ -49,6 +50,8 @@ class SimOutcome:
     events_processed: int
     messages_dropped: int
     probes_started: int
+    #: Structured steal-event recorders (``config.event_trace``).
+    event_recorders: list[EventRecorder] | None = None
 
     @property
     def total_nodes(self) -> int:
@@ -84,6 +87,14 @@ class Cluster:
             if config.trace
             else None
         )
+        self.event_recorders = (
+            [
+                EventRecorder(config.event_trace_capacity)
+                for _ in range(config.nranks)
+            ]
+            if config.event_trace
+            else None
+        )
 
         assert not isinstance(config.rng_backend, str)
         generator = TreeGenerator(config.tree, config.rng_backend)
@@ -110,6 +121,11 @@ class Cluster:
                 per_node_time=config.per_node_time,
                 steal_service_time=config.steal_service_time,
                 trace=self.recorders[rank] if self.recorders else None,
+                events=(
+                    self.event_recorders[rank]
+                    if self.event_recorders
+                    else None
+                ),
             )
             if config.lifelines > 0:
                 # Deferred import: repro.lifeline depends on sim.worker.
@@ -203,6 +219,7 @@ class Cluster:
         workers = self.workers
         max_events = engine._max_events
         processed = engine._processed
+        event_recorders = self.event_recorders
         try:
             while heap:
                 time, _seq, kind, rank, payload = heappop(heap)
@@ -217,6 +234,12 @@ class Cluster:
                     workers[rank].on_exec(time)
                 elif payload.tag == TAG_TOKEN:
                     worker = workers[rank]
+                    # Termination-wave progress (rare: one event per
+                    # token hop, far off the EXEC/steal hot paths).
+                    if event_recorders is not None:
+                        event_recorders[rank].append(
+                            time, EV_TOKEN, payload.color
+                        )
                     action = self.termination.token_arrived(
                         rank, payload.color, worker.status is WorkerStatus.WAITING
                     )
@@ -263,6 +286,7 @@ class Cluster:
             events_processed=self.engine.processed,
             messages_dropped=self._messages_dropped,
             probes_started=self.termination.probes_started,
+            event_recorders=self.event_recorders,
         )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,16 @@ from repro.sim.messages import (
     StealRequest,
     StealResponse,
 )
+from repro.trace.events import (
+    EV_DENY,
+    EV_FINISH,
+    EV_SERVE,
+    EV_STEAL_FAIL,
+    EV_STEAL_OK,
+    EV_STEAL_SENT,
+    EV_VICTIM_DRAW,
+    EventRecorder,
+)
 from repro.uts.stack import ChunkedStack
 from repro.uts.tree import SCALAR_BATCH_CUTOFF, TreeGenerator
 
@@ -87,6 +97,7 @@ class Worker:
         "status",
         "pending",
         "trace",
+        "events",
         "nodes_processed",
         "steal_requests_sent",
         "failed_steals",
@@ -125,6 +136,7 @@ class Worker:
         per_node_time: float,
         steal_service_time: float,
         trace: TraceRecorder | None = None,
+        events: EventRecorder | None = None,
     ):
         if nranks > 1 and selector is None:
             raise SimulationError("multi-rank worker needs a victim selector")
@@ -142,6 +154,10 @@ class Worker:
         self.status = WorkerStatus.RUNNING  # resolved properly in start()
         self.pending: list[StealRequest] = []
         self.trace = trace
+        # Structured steal-event sink (repro.trace); None when event
+        # tracing is off, so every hook is one load + one None test on
+        # steal edges only — the EXEC expansion path never sees it.
+        self.events = events
 
         # Counters surfaced by RunResult.
         self.nodes_processed = 0
@@ -244,6 +260,8 @@ class Worker:
             else:
                 # Idle ranks have nothing to give; deny immediately.
                 self.requests_denied += 1
+                if self.events is not None:
+                    self.events.append(now, EV_DENY, msg.thief)
                 self.transport.send(
                     self.rank, msg.thief, StealResponse(self.rank, None), now
                 )
@@ -265,6 +283,7 @@ class Worker:
         t = now
         if not self.pending:
             return t
+        ev = self.events
         for req in self.pending:
             stealable = self.stack.stealable_chunks
             take = self.policy.chunks_to_steal(stealable) if stealable else 0
@@ -273,15 +292,20 @@ class Worker:
                 t += self.steal_service_time
                 self.service_time += self.steal_service_time
                 chunks = self.stack.steal_chunks(take)
+                nodes = sum(c.size for c in chunks)
                 self.requests_served += 1
                 self.chunks_sent += len(chunks)
-                self.nodes_sent += sum(c.size for c in chunks)
+                self.nodes_sent += nodes
+                if ev is not None:
+                    ev.append(t, EV_SERVE, req.thief, nodes)
                 self.transport.work_sent(self.rank)
                 self.transport.send(
                     self.rank, req.thief, StealResponse(self.rank, chunks), t
                 )
             else:
                 self.requests_denied += 1
+                if ev is not None:
+                    ev.append(t, EV_DENY, req.thief)
                 self.transport.send(
                     self.rank, req.thief, StealResponse(self.rank, None), t
                 )
@@ -340,6 +364,10 @@ class Worker:
         victim = self.selector.next_victim()
         self.steal_requests_sent += 1
         self._session_attempts += 1
+        ev = self.events
+        if ev is not None:
+            ev.append(t, EV_VICTIM_DRAW, victim, self._session_attempts)
+            ev.append(t, EV_STEAL_SENT, victim)
         self.transport.send(self.rank, victim, StealRequest(self.rank), t)
 
     def _on_response(self, now: float, msg: StealResponse) -> None:
@@ -353,6 +381,8 @@ class Worker:
             self.successful_steals += 1
             self.chunks_received += len(msg.chunks)
             self.nodes_received += received
+            if self.events is not None:
+                self.events.append(now, EV_STEAL_OK, msg.victim, received)
             if self.selector is not None:
                 self.selector.notify(msg.victim, success=True)
             self._close_session(now, found_work=True)
@@ -361,6 +391,8 @@ class Worker:
             self.transport.schedule_exec(self.rank, now)
         else:
             self.failed_steals += 1
+            if self.events is not None:
+                self.events.append(now, EV_STEAL_FAIL, msg.victim)
             if self.selector is not None:
                 self.selector.notify(msg.victim, success=False)
             self._send_steal_request(now)
@@ -373,6 +405,8 @@ class Worker:
             )
         if self._session_start is not None:
             self._close_session(now, found_work=False)
+        if self.events is not None:
+            self.events.append(now, EV_FINISH)
         self.status = WorkerStatus.DONE
         self.finish_time = now
 

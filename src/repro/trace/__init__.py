@@ -1,0 +1,73 @@
+"""Structured steal-event tracing for the work-stealing simulator.
+
+The activity traces of :mod:`repro.core.tracing` record *that* a rank
+was busy; this package records *why* — every victim draw, steal
+request, reply, denial, lifeline transition and termination-wave step,
+with enough provenance to reconstruct the scheduler's decisions after
+the fact.
+
+Layers:
+
+* :mod:`repro.trace.events` — the live :class:`EventRecorder` ring
+  buffers (attached by the cluster when ``event_trace=True``) and the
+  validated :class:`EventTrace` view;
+* :mod:`repro.trace.analysis` — :class:`TraceAnalysis`: steal-success
+  rates, reply-latency distributions, victim-draw distances,
+  failed-attempt chains;
+* :mod:`repro.trace.chrome` — Chrome-trace / Perfetto JSON export and
+  the structural validator CI runs;
+* ``python -m repro.trace`` — run a preset experiment traced and emit
+  the JSON plus a text summary.
+
+Tracing is observationally free: it never changes the simulation's
+event stream, results, or config fingerprints (the ``event_trace``
+flag is excluded from fingerprinting).
+"""
+
+from __future__ import annotations
+
+from repro.trace.analysis import TraceAnalysis
+from repro.trace.chrome import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.events import (
+    EVENT_NAMES,
+    EVENT_SCHEMA,
+    EventRecorder,
+    EventTrace,
+)
+
+__all__ = [
+    "EventRecorder",
+    "EventTrace",
+    "EVENT_NAMES",
+    "EVENT_SCHEMA",
+    "TraceAnalysis",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "run_traced",
+]
+
+
+def run_traced(config=None, **config_kwargs):
+    """Run one simulation with full tracing and return its result.
+
+    Convenience wrapper over :func:`repro.ws.runner.run_uts`: forces
+    ``trace=True`` and ``event_trace=True`` (via ``config.replace`` on
+    a prebuilt config) and returns the :class:`~repro.ws.results.RunResult`,
+    whose ``events`` attribute holds the validated
+    :class:`EventTrace` and ``trace`` the activity trace.
+    """
+    # Deferred import: repro.ws pulls in the whole sim stack, which
+    # itself imports repro.trace.events for the recorder types.
+    from repro.ws.runner import run_uts
+
+    if config is not None:
+        config = config.replace(trace=True, event_trace=True)
+        return run_uts(config)
+    config_kwargs["trace"] = True
+    config_kwargs["event_trace"] = True
+    return run_uts(**config_kwargs)

@@ -1,0 +1,78 @@
+"""Representative traced configs for the benchmark experiments.
+
+``python -m repro.trace --config fig02`` (and ``python -m repro.bench
+fig02 --trace``) need *one* run to draw, while the experiments are
+whole sweeps — so each preset picks the sweep point that best shows
+the figure's scheduling story (the paper's interesting regime, not its
+cheapest corner) and applies the shared benchmark calibration.
+
+Every preset is returned with ``trace=True`` (activity lanes) and
+``event_trace=True`` (steal arrows); both are observability-only and
+do not change the run's physics or its fingerprint.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_config
+from repro.core.config import WorkStealingConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["TRACE_PRESETS", "preset_config", "available_presets"]
+
+#: preset id -> (kwargs for experiment_config, description).
+TRACE_PRESETS: dict[str, tuple[dict, str]] = {
+    "smoke": (
+        dict(tree="T3XS", nranks=8, selector="reference"),
+        "tiny CI smoke run (T3XS, 8 ranks, reference)",
+    ),
+    "fig02": (
+        dict(tree="T3M", nranks=32, selector="reference"),
+        "Fig 2 band: reference selector, small scale (T3M, 32 ranks)",
+    ),
+    "fig03": (
+        dict(tree="T3L", nranks=128, selector="reference"),
+        "Fig 3 band: reference selector at scale (T3L, 128 ranks)",
+    ),
+    "fig06": (
+        dict(tree="T3L", nranks=128, selector="rand"),
+        "Fig 6 band: uniform random selection (T3L, 128 ranks)",
+    ),
+    "fig09": (
+        dict(tree="T3L", nranks=128, selector="tofu"),
+        "Fig 9 band: distance-skewed Tofu selection (T3L, 128 ranks)",
+    ),
+    "fig11": (
+        dict(tree="T3L", nranks=128, selector="tofu", steal_policy="half"),
+        "Fig 11 band: Tofu + steal-half (T3L, 128 ranks)",
+    ),
+    "lifeline": (
+        dict(tree="T3M", nranks=32, selector="rand", lifelines=2),
+        "lifeline extension: quiesce/wake traffic (T3M, 32 ranks)",
+    ),
+}
+
+
+def available_presets() -> list[str]:
+    return list(TRACE_PRESETS)
+
+
+def preset_config(name: str, **overrides) -> WorkStealingConfig:
+    """Build the traced config for a preset id.
+
+    ``overrides`` are forwarded to
+    :func:`~repro.bench.experiments.experiment_config` on top of the
+    preset (e.g. ``nranks=64``, ``seed=3``); tracing flags are forced
+    on last so a preset is always drawable.
+    """
+    try:
+        kwargs, _desc = TRACE_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trace preset {name!r}; "
+            f"available: {available_presets()}"
+        ) from None
+    merged = dict(kwargs)
+    merged.update(overrides)
+    merged["trace"] = True
+    merged["event_trace"] = True
+    return experiment_config(**merged)

@@ -61,6 +61,12 @@ class RunResult:
     probes_started: int
 
     trace: ActivityTrace | None = None
+    #: Structured steal-event trace (``event_trace=True`` runs).
+    #: Diagnostic-only: deliberately NOT serialized by :meth:`to_dict`
+    #: — event streams are for post-mortem analysis of a live run
+    #: (:mod:`repro.trace`), not for the result cache, and cached
+    #: results therefore round-trip without them.
+    events: "object | None" = field(default=None, repr=False)
     _profile: LatencyProfile | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -147,6 +153,15 @@ class RunResult:
                 if outcome.clock.enabled
                 else raw
             )
+        events = None
+        if outcome.event_recorders is not None:
+            # Deferred import: repro.trace.events is also imported by
+            # the sim layer; resolving it lazily keeps RunResult free
+            # of import-order coupling.  Event timestamps are true
+            # simulation time (no skew to correct).
+            from repro.trace.events import EventTrace
+
+            events = EventTrace.from_recorders(outcome.event_recorders)
         # Config resolution is guaranteed by WorkStealingConfig's
         # __post_init__; the .name accesses below raise cleanly if not.
         return cls(
@@ -173,6 +188,7 @@ class RunResult:
             messages_dropped=outcome.messages_dropped,
             probes_started=outcome.probes_started,
             trace=trace,
+            events=events,
         )
 
     def summary(self) -> str:

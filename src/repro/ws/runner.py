@@ -56,6 +56,14 @@ def run_uts(
     or pass ``tree``, ``nranks`` and any other config fields as
     keyword arguments.
 
+    Tracing knobs (both observationally free — same simulation, same
+    fingerprint): ``trace=True`` attaches the per-rank activity
+    recorders behind ``result.trace`` and the SL/EL metrics;
+    ``event_trace=True`` additionally captures the structured
+    steal-event stream behind ``result.events`` for
+    :class:`repro.trace.TraceAnalysis` and the Chrome-trace exporter
+    (``python -m repro.trace``).
+
     Parameters
     ----------
     baseline_time:

@@ -60,6 +60,35 @@ class TestValidation:
         assert t.nranks == 1
 
 
+class TestNonFiniteRejection:
+    """Regression: NaN compares False against everything, so the
+    ordering check alone silently accepted NaN-tainted traces and the
+    corruption only surfaced deep inside the metrics."""
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(TraceError, match="non-finite"):
+            _trace([(0.0, True), (float("nan"), False)])
+
+    def test_inf_time_rejected(self):
+        with pytest.raises(TraceError, match="non-finite"):
+            _trace([(float("inf"), True)])
+
+    def test_nan_rejected_via_from_recorders(self):
+        r = TraceRecorder()
+        r.record(0.0, True)
+        r.record(float("nan"), False)
+        with pytest.raises(TraceError, match="non-finite"):
+            ActivityTrace.from_recorders([r])
+
+    def test_non_finite_offsets_rejected(self):
+        t = _trace([(1.0, True), (2.0, False)])
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(TraceError, match="finite"):
+                t.with_skew(np.array([bad]))
+            with pytest.raises(TraceError, match="finite"):
+                t.corrected(np.array([bad]))
+
+
 class TestActiveCountCurve:
     def test_single_rank(self):
         t = _trace([(0.0, True), (10.0, False)])

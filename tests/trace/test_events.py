@@ -1,0 +1,163 @@
+"""Unit tests for the event recorder and validated event trace."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    EV_DENY,
+    EV_SERVE,
+    EV_STEAL_FAIL,
+    EV_STEAL_OK,
+    EV_STEAL_SENT,
+    EV_TOKEN,
+    EVENT_NAMES,
+    EVENT_SCHEMA,
+    EventRecorder,
+    EventTrace,
+)
+
+
+class TestRecorder:
+    def test_append_and_events(self):
+        r = EventRecorder()
+        r.append(0.0, EV_STEAL_SENT, 3)
+        r.append(1.0, EV_STEAL_FAIL, 3)
+        assert len(r) == 2
+        assert r.events() == [(0.0, EV_STEAL_SENT, 3, 0), (1.0, EV_STEAL_FAIL, 3, 0)]
+        assert r.dropped == 0
+
+    def test_unbounded_by_default(self):
+        r = EventRecorder()
+        for k in range(1000):
+            r.append(float(k), EV_TOKEN)
+        assert len(r) == 1000
+        assert r.dropped == 0
+        assert r.capacity == 0
+
+    def test_ring_overwrites_oldest(self):
+        r = EventRecorder(capacity=3)
+        for k in range(5):
+            r.append(float(k), EV_TOKEN, k)
+        assert len(r) == 3
+        assert r.dropped == 2
+        # Oldest two events (t=0, t=1) were overwritten; the unrolled
+        # view is chronological.
+        assert [ev[0] for ev in r.events()] == [2.0, 3.0, 4.0]
+
+    def test_ring_exactly_full_not_dropped(self):
+        r = EventRecorder(capacity=2)
+        r.append(0.0, EV_TOKEN)
+        r.append(1.0, EV_TOKEN)
+        assert r.dropped == 0
+        assert [ev[0] for ev in r.events()] == [0.0, 1.0]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(TraceError):
+            EventRecorder(capacity=-1)
+
+
+class TestEventTraceValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            EventTrace([])
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(TraceError, match="out of order"):
+            EventTrace([[(1.0, EV_TOKEN, 0, 0), (0.5, EV_TOKEN, 0, 0)]])
+
+    def test_equal_times_allowed(self):
+        t = EventTrace([[(1.0, EV_TOKEN, 0, 0), (1.0, EV_TOKEN, 0, 0)]])
+        assert len(t) == 2
+
+    def test_nan_timestamp_rejected(self):
+        """NaN compares False against everything, so a plain ordering
+        check would silently accept it — must be rejected explicitly."""
+        with pytest.raises(TraceError, match="non-finite"):
+            EventTrace([[(math.nan, EV_TOKEN, 0, 0)]])
+
+    def test_inf_timestamp_rejected(self):
+        with pytest.raises(TraceError, match="non-finite"):
+            EventTrace([[(math.inf, EV_TOKEN, 0, 0)]])
+
+    def test_unknown_etype_rejected(self):
+        with pytest.raises(TraceError, match="unknown event type"):
+            EventTrace([[(0.0, 999, 0, 0)]])
+
+    def test_bad_tuple_shape_rejected(self):
+        with pytest.raises(TraceError, match="4-tuple"):
+            EventTrace([[(0.0, EV_TOKEN, 0)]])
+
+    def test_empty_rank_streams_ok(self):
+        t = EventTrace([[], []])
+        assert t.nranks == 2
+        assert len(t) == 0
+
+    def test_from_recorders_sorts_interleaved_times(self):
+        # Causal order can interleave timestamps (a victim answers a
+        # mid-quantum arrival after advancing its local clock); the
+        # assembler normalises each rank chronologically.
+        r = EventRecorder()
+        r.append(2.0, EV_SERVE, 1, 5)
+        r.append(1.5, EV_DENY, 2)
+        t = EventTrace.from_recorders([r])
+        assert [ev[0] for ev in t.ranks[0]] == [1.5, 2.0]
+
+    def test_from_recorders_carries_dropped(self):
+        r = EventRecorder(capacity=1)
+        r.append(0.0, EV_TOKEN)
+        r.append(1.0, EV_TOKEN)
+        t = EventTrace.from_recorders([r])
+        assert t.dropped == [1]
+
+
+class TestEventTraceViews:
+    def _trace(self) -> EventTrace:
+        return EventTrace(
+            [
+                [(0.0, EV_STEAL_SENT, 1, 0), (1.0, EV_STEAL_OK, 1, 7)],
+                [(0.5, EV_SERVE, 0, 7)],
+            ]
+        )
+
+    def test_count(self):
+        t = self._trace()
+        assert t.count(EV_STEAL_SENT) == 1
+        assert t.count(EV_SERVE) == 1
+        assert t.count(EV_SERVE, rank=0) == 0
+        assert t.count(EV_SERVE, rank=1) == 1
+
+    def test_merged_is_time_sorted_with_rank_tiebreak(self):
+        t = EventTrace(
+            [
+                [(1.0, EV_TOKEN, 0, 0)],
+                [(0.5, EV_TOKEN, 1, 0), (1.0, EV_TOKEN, 1, 0)],
+            ]
+        )
+        merged = t.merged()
+        assert [(ev[0], ev[1]) for ev in merged] == [(0.5, 1), (1.0, 0), (1.0, 1)]
+
+    def test_canonical_bytes_round_trip_exact(self):
+        t = self._trace()
+        blob = t.canonical_bytes()
+        assert blob == t.canonical_bytes()
+        # repr of floats is shortest-round-trip: a one-ulp difference
+        # must change the encoding.
+        bumped = EventTrace(
+            [
+                [
+                    (0.0, EV_STEAL_SENT, 1, 0),
+                    (math.nextafter(1.0, 2.0), EV_STEAL_OK, 1, 7),
+                ],
+                [(0.5, EV_SERVE, 0, 7)],
+            ]
+        )
+        assert bumped.canonical_bytes() != blob
+
+
+def test_schema_covers_every_event_type():
+    assert set(EVENT_SCHEMA) == set(EVENT_NAMES)
+    assert len(set(EVENT_NAMES.values())) == len(EVENT_NAMES)
