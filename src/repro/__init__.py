@@ -33,6 +33,19 @@ Batch runs go through the parallel executor (:mod:`repro.exec`)::
     configs = [WorkStealingConfig(tree=T3S, nranks=n, selector="tofu")
                for n in (8, 16, 32, 64)]
     results = run_many(configs, jobs=4)
+
+Long-running multi-client workloads go through the simulation service
+(:mod:`repro.service`), which dedups, schedules fairly and caches::
+
+    from repro import SimulationService
+
+    async with SimulationService(workers=4, store=True) as service:
+        handle = await service.submit(configs, client="alice")
+        results = await handle.results()
+
+This module is the package's stable public surface: everything in
+``__all__`` keeps working across releases (renames get deprecation
+shims first).
 """
 
 from repro._version import __version__
@@ -52,16 +65,38 @@ from repro.uts.params import (
 from repro.ws.results import RunResult
 from repro.ws.runner import run_uts, sequential_baseline
 
-# Imported last: repro.exec reads repro._version and the registries the
-# imports above populate.
-from repro.exec import run_many  # noqa: E402  (intentional ordering)
+# Imported last: repro.exec / repro.service read repro._version and the
+# registries the imports above populate.
+from repro.exec import ResultCache, RunProgress, run_many  # noqa: E402
+from repro.core.jobs import (  # noqa: E402
+    Job,
+    JobEvent,
+    JobFailure,
+    JobState,
+)
+from repro.service import (  # noqa: E402
+    ArtifactStore,
+    SimulationService,
+    SweepHandle,
+    run_service_sweep,
+)
 
 __all__ = [
     "WorkStealingConfig",
     "RunResult",
     "run_uts",
     "run_many",
+    "run_service_sweep",
     "sequential_baseline",
+    "RunProgress",
+    "ResultCache",
+    "ArtifactStore",
+    "SimulationService",
+    "SweepHandle",
+    "Job",
+    "JobState",
+    "JobEvent",
+    "JobFailure",
     "TreeParams",
     "TREES",
     "tree_by_name",

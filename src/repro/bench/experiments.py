@@ -120,12 +120,14 @@ _MEMO: dict[str, RunResult] = {}
 _JOBS: int | None = 1
 #: Optional on-disk cache shared by cached_run / run_configs.
 _DISK: ResultCache | None = None
+#: Route batch runs through the simulation service (the CLI's --service).
+_SERVICE: bool = False
 
 #: configure() sentinel: "leave this setting unchanged".
 _UNSET = object()
 
 
-def configure(jobs: int | None = _UNSET, cache=_UNSET) -> None:
+def configure(jobs: int | None = _UNSET, cache=_UNSET, service=_UNSET) -> None:
     """Set the harness-wide execution knobs (the CLI's flags).
 
     Parameters
@@ -138,8 +140,13 @@ def configure(jobs: int | None = _UNSET, cache=_UNSET) -> None:
         ``benchmarks/_cache/``, a path or
         :class:`~repro.exec.cache.ResultCache`, or ``None``/``False``
         to disable (the default — pytest runs stay self-contained).
+    service:
+        ``True`` routes batch runs through a
+        :class:`~repro.service.SimulationService` sweep (same pool,
+        same store, plus the service's dedup and scheduling layers)
+        instead of calling :func:`repro.exec.run_many` directly.
     """
-    global _JOBS, _DISK
+    global _JOBS, _DISK, _SERVICE
     if jobs is not _UNSET:
         _JOBS = jobs
     if cache is not _UNSET:
@@ -151,6 +158,8 @@ def configure(jobs: int | None = _UNSET, cache=_UNSET) -> None:
             _DISK = cache
         else:
             _DISK = ResultCache(cache)
+    if service is not _UNSET:
+        _SERVICE = bool(service)
 
 
 def _lookup(data: dict, fingerprint: str) -> RunResult | None:
@@ -214,11 +223,18 @@ def run_configs(
             pending_fps.add(fp)
 
     if pending:
-        fresh = run_many(
-            [configs[i] for i in pending],
-            jobs=jobs if jobs is not None else _JOBS,
-            cache=_DISK,
-        )
+        workers = jobs if jobs is not None else _JOBS
+        to_run = [configs[i] for i in pending]
+        if _SERVICE:
+            from repro.core.jobs import JobFailure
+            from repro.service.service import run_service_sweep
+
+            fresh = run_service_sweep(to_run, workers=workers, store=_DISK)
+            for slot in fresh:
+                if isinstance(slot, JobFailure):
+                    raise slot.error
+        else:
+            fresh = run_many(to_run, jobs=workers, store=_DISK)
         for i, result in zip(pending, fresh):
             _MEMO[fingerprints[i]] = result
     # Second pass: fill every slot (duplicates resolve via the memo).

@@ -12,7 +12,9 @@ the scheduling-latency metric.
 * :mod:`repro.core.metrics` — the starting/ending scheduling-latency
   metric (``SL(x)``, ``EL(x)``) and occupancy analysis;
 * :mod:`repro.core.sessions` — work-discovery session statistics;
-* :mod:`repro.core.config` — the work-stealing run configuration.
+* :mod:`repro.core.config` — the work-stealing run configuration;
+* :mod:`repro.core.jobs` — the job/artifact lifecycle dataclasses
+  shared by the batch executor and the simulation service.
 """
 
 from repro.core.victim import (
@@ -43,6 +45,7 @@ from repro.core.metrics import (
 )
 from repro.core.sessions import SessionStats, summarize_sessions
 from repro.core.config import WorkStealingConfig
+from repro.core.jobs import ArtifactRef, Job, JobEvent, JobFailure, JobState
 
 __all__ = [
     "VictimSelector",
@@ -69,4 +72,9 @@ __all__ = [
     "SessionStats",
     "summarize_sessions",
     "WorkStealingConfig",
+    "ArtifactRef",
+    "Job",
+    "JobEvent",
+    "JobFailure",
+    "JobState",
 ]

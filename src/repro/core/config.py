@@ -36,14 +36,14 @@ from dataclasses import asdict, dataclass, fields
 from typing import Callable
 
 from repro.core import registry
-from repro.core.steal_policy import StealPolicy, policy_by_name
-from repro.core.victim import SelectorFactory, selector_by_name
+from repro.core.steal_policy import StealPolicy
+from repro.core.victim import SelectorFactory
 from repro.errors import ConfigurationError
-from repro.net.allocation import ProcessAllocation, allocation_by_name
+from repro.net.allocation import ProcessAllocation
 from repro.net.latency import KComputerLatency, LatencyModel, latency_model_from_spec
 from repro.net.topology import Topology
 from repro.uts.params import TreeParams, tree_by_name
-from repro.uts.rng import RngBackend, backend_by_name
+from repro.uts.rng import RngBackend
 
 __all__ = ["WorkStealingConfig", "FINGERPRINT_EXCLUDED_FIELDS"]
 
@@ -150,17 +150,16 @@ class WorkStealingConfig:
             raise ConfigurationError(
                 f"lifeline_threshold must be >= 1, got {self.lifeline_threshold}"
             )
-        # Resolve string shorthands once; resolution is idempotent so
-        # derived configs (replace, from_dict) re-validate cleanly with
-        # already-resolved strategy objects.
-        if isinstance(self.allocation, str):
-            self.allocation = allocation_by_name(self.allocation)
-        if isinstance(self.selector, str):
-            self.selector = selector_by_name(self.selector)
-        if isinstance(self.steal_policy, str):
-            self.steal_policy = policy_by_name(self.steal_policy)
-        if isinstance(self.rng_backend, str):
-            self.rng_backend = backend_by_name(self.rng_backend)
+        # Resolve string shorthands once, all through the single
+        # resolution path (repro.core.registry.resolve_spec); resolution
+        # is idempotent so derived configs (replace, from_dict)
+        # re-validate cleanly with already-resolved strategy objects.
+        for field_name, kind in self._SPEC_FIELDS.items():
+            setattr(
+                self,
+                field_name,
+                registry.resolve_spec(kind, getattr(self, field_name)),
+            )
         if isinstance(self.latency_model, (str, dict)):
             self.latency_model = latency_model_from_spec(self.latency_model)
         if self.latency_model is None:

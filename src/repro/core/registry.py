@@ -18,21 +18,29 @@ and the serialization layer (:mod:`repro.exec`) go through
     registry.available("selector")       # all valid selector names
     registry.register("selector", "mine", MySelector)
 
-Unknown names always raise :class:`~repro.errors.ConfigurationError`
-listing the valid choices, never a bare ``KeyError``.
+:func:`resolve` (and its object-tolerant sibling :func:`resolve_spec`)
+is the **single resolution path** of the package: the config layer
+(``WorkStealingConfig.__post_init__``), the one-shot runner
+(:func:`repro.ws.runner.run_uts` via the config), the bench harness
+and the simulation service (:mod:`repro.service`) all funnel string
+shorthands through it.  Unknown names always raise
+:class:`~repro.errors.RegistryError` (a
+:class:`~repro.errors.ConfigurationError` subclass) listing the valid
+choices, never a bare ``KeyError``.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable
 
-from repro.errors import ConfigurationError
+from repro.errors import RegistryError
 
 __all__ = [
     "Registry",
     "registry_for",
     "register",
     "resolve",
+    "resolve_spec",
     "available",
     "kinds",
 ]
@@ -74,7 +82,7 @@ class Registry:
         """
         for alias in (name, *aliases):
             if alias in self._entries and not overwrite:
-                raise ConfigurationError(
+                raise RegistryError(
                     f"{self.kind} {alias!r} is already registered"
                 )
             self._entries[alias] = factory
@@ -88,7 +96,7 @@ class Registry:
 
         ``parser(name)`` returns the strategy object when ``name``
         matches the pattern, ``None`` when it does not, and raises
-        :class:`ConfigurationError` when it matches but carries bad
+        :class:`~repro.errors.RegistryError` when it matches but carries bad
         parameters (``"skew[abc]"``).
         """
         self._patterns.append((template, parser))
@@ -103,10 +111,10 @@ class Registry:
         Exact names win over patterns.  ``kwargs`` are forwarded to the
         factory (used by parameterised families such as latency-model
         specs); most factories take none.  Unknown names raise
-        :class:`ConfigurationError` listing every valid choice.
+        :class:`~repro.errors.RegistryError` listing every valid choice.
         """
         if not isinstance(name, str):
-            raise ConfigurationError(
+            raise RegistryError(
                 f"{self.kind} name must be a string, got {type(name).__name__}"
             )
         factory = self._entries.get(name)
@@ -114,7 +122,7 @@ class Registry:
             try:
                 return factory(**kwargs)
             except TypeError as exc:
-                raise ConfigurationError(
+                raise RegistryError(
                     f"bad parameters for {self.kind} {name!r}: {exc}"
                 ) from None
         if not kwargs:
@@ -122,7 +130,7 @@ class Registry:
                 obj = parser(name)
                 if obj is not None:
                     return obj
-        raise ConfigurationError(
+        raise RegistryError(
             f"unknown {self.kind} {name!r}; valid choices: {self._choices()}"
         )
 
@@ -133,7 +141,7 @@ class Registry:
     def __contains__(self, name: str) -> bool:
         try:
             self.resolve(name)
-        except ConfigurationError:
+        except RegistryError:
             return False
         return True
 
@@ -173,12 +181,27 @@ def register(
 
 
 def resolve(kind: str, name: str, **kwargs) -> object:
-    """Resolve ``name`` within ``kind``; raises ``ConfigurationError``."""
+    """Resolve ``name`` within ``kind``; raises ``RegistryError``."""
     if kind not in _REGISTRIES:
-        raise ConfigurationError(
+        raise RegistryError(
             f"unknown strategy kind {kind!r}; known kinds: {sorted(_REGISTRIES)}"
         )
     return _REGISTRIES[kind].resolve(name, **kwargs)
+
+
+def resolve_spec(kind: str, spec: object, **kwargs) -> object:
+    """Resolve ``spec`` when it is a string name, pass it through otherwise.
+
+    This is the one entry point for every API that accepts
+    "string-or-object" strategy specs (config fields, ``run_uts``
+    keyword arguments, bench sweeps, service submissions): strings go
+    through :func:`resolve` — raising :class:`~repro.errors.RegistryError`
+    with the valid choices on a miss — and already-resolved strategy
+    objects are returned unchanged.
+    """
+    if isinstance(spec, str):
+        return resolve(kind, spec, **kwargs)
+    return spec
 
 
 def available(kind: str | None = None) -> list[str] | dict[str, list[str]]:
@@ -186,7 +209,7 @@ def available(kind: str | None = None) -> list[str] | dict[str, list[str]]:
     if kind is None:
         return {k: reg.available() for k, reg in sorted(_REGISTRIES.items())}
     if kind not in _REGISTRIES:
-        raise ConfigurationError(
+        raise RegistryError(
             f"unknown strategy kind {kind!r}; known kinds: {sorted(_REGISTRIES)}"
         )
     return _REGISTRIES[kind].available()

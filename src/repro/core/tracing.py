@@ -149,8 +149,14 @@ class ActivityTrace:
         times = times[order]
         deltas = deltas[order]
         counts = np.cumsum(deltas)
-        # Collapse simultaneous transitions into the final count.
-        keep = np.concatenate([times[1:] != times[:-1], [True]])
+        # Collapse simultaneous transitions into the final count.  The
+        # comparison is epsilon-tolerant: clock-skew round trips
+        # (with_skew + corrected) perturb timestamps by a few ulp, and
+        # transitions that were simultaneous before the round trip must
+        # still collapse — otherwise zero-width occupancy spikes appear
+        # and threshold metrics (max occupancy, SL/EL crossings) flip.
+        # 1e-12 s is far below any simulated event spacing (>= ns).
+        keep = np.concatenate([np.diff(times) > 1e-12, [True]])
         return times[keep], counts[keep]
 
     def busy_time(self, rank: int, end_time: float) -> float:

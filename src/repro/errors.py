@@ -17,6 +17,32 @@ class ConfigurationError(ReproError):
     """An invalid or inconsistent configuration value was supplied."""
 
 
+class RegistryError(ConfigurationError):
+    """A strategy name failed to resolve through :mod:`repro.core.registry`.
+
+    Raised (with the valid choices listed) for unknown names, bad
+    pattern parameters and malformed registrations.  Subclasses
+    :class:`ConfigurationError` so existing callers that catch the
+    broader class keep working.
+    """
+
+
+class JobError(ReproError):
+    """A submitted job could not run to completion."""
+
+
+class JobTimeoutError(JobError):
+    """A job exceeded its per-job wall-clock budget and was abandoned."""
+
+
+class JobCancelledError(JobError):
+    """A job was cancelled before it produced a result."""
+
+
+class ServiceError(ReproError):
+    """The simulation service was used in an invalid state."""
+
+
 class TopologyError(ReproError):
     """A topology or coordinate operation was invalid (bad dims, out of range)."""
 

@@ -24,11 +24,12 @@ Typical use::
 
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.fingerprint import canonical_json, config_fingerprint, fingerprint_dict
-from repro.exec.pool import RunProgress, run_many
+from repro.exec.pool import RunProgress, WorkerPool, run_many
 
 __all__ = [
     "run_many",
     "RunProgress",
+    "WorkerPool",
     "ResultCache",
     "DEFAULT_CACHE_DIR",
     "config_fingerprint",

@@ -7,10 +7,21 @@ over a ``ProcessPoolExecutor``, with
 
 * **fingerprint deduplication** — identical configs in one batch run
   once and share the result object;
-* **result caching** — an optional :class:`~repro.exec.cache.ResultCache`
-  is consulted before and populated after every simulation;
+* **result caching** — an optional result store
+  (:class:`~repro.exec.cache.ResultCache` or the service's
+  :class:`~repro.service.store.ArtifactStore`) is consulted before and
+  populated after every simulation;
 * **progress streaming** — an optional callback receives one
   :class:`RunProgress` per finished run, with per-run wall-clock time;
+* **per-job timeouts** — ``timeout=`` bounds each job's wall-clock;
+  an overrunning worker is abandoned (it no longer wedges the sweep)
+  and the slot fails with :class:`~repro.errors.JobTimeoutError`;
+* **failure isolation** — ``return_exceptions=True`` turns per-job
+  exceptions into :class:`~repro.core.jobs.JobFailure` slots instead
+  of unwinding the whole batch;
+* **pool reuse** — a caller-owned :class:`WorkerPool` (``pool=``) is
+  used reentrantly across many calls, amortising worker start-up; the
+  simulation service keeps one alive for its whole lifetime;
 * **bit-identical results** — configs are shipped to workers as plain
   dicts and results return as JSON, the same serialization single runs
   and the cache use.  Every random seed lives inside the config, so a
@@ -19,27 +30,40 @@ over a ``ProcessPoolExecutor``, with
 
 The worker protocol is deliberately dumb: a worker receives
 ``(index, config_dict, max_events)``, rebuilds the config, runs the
-simulation and returns ``(index, result_json, elapsed)``.  No strategy
-objects, numpy arrays or tracebacks cross the process boundary except
-via this one format.
+simulation and returns ``(index, result_json, elapsed, artifact)``
+where ``artifact`` is the Chrome-trace JSON string for
+``event_trace=True`` configs (event streams do not survive the result
+serialization, so the export happens worker-side) and ``None``
+otherwise.  No strategy objects, numpy arrays or tracebacks cross the
+process boundary except via this one format.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.core.config import WorkStealingConfig
-from repro.errors import ConfigurationError
+from repro.core.jobs import JobFailure
+from repro.errors import ConfigurationError, JobTimeoutError
 from repro.exec.cache import ResultCache
 from repro.exec.fingerprint import fingerprint_dict
 from repro.ws.results import RunResult
 from repro.ws.runner import run_uts
 
-__all__ = ["run_many", "RunProgress"]
+__all__ = ["run_many", "RunProgress", "WorkerPool"]
+
+#: Seconds between deadline checks when a per-job timeout is armed.
+_TIMEOUT_POLL = 0.05
+
+#: Sentinel for the deprecated ``cache=`` keyword.
+_DEPRECATED = object()
 
 
 @dataclass(frozen=True)
@@ -60,30 +84,123 @@ class RunProgress:
     elapsed: float
     #: True when the result came from the cache, not a simulation.
     cached: bool
+    #: Terminal state: ``"cached"``, ``"done"`` or ``"failed"``.
+    state: str = "done"
+    #: ``str(exception)`` when ``state == "failed"``.
+    error: str | None = None
 
 
-def _execute(payload: tuple[int, dict, int | None]) -> tuple[int, str, float]:
+def _execute(payload: tuple[int, dict, int | None]) -> tuple[int, str, float, str | None]:
     """Worker entry point: run one config shipped as a plain dict."""
     index, config_dict, max_events = payload
     start = time.perf_counter()
     config = WorkStealingConfig.from_dict(config_dict)
     result = run_uts(config, max_events=max_events)
-    return index, result.to_json(), time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    artifact = None
+    if result.events is not None:
+        # Event streams are not part of the result serialization; the
+        # Chrome-trace export is the durable artifact, built where the
+        # events still exist (this worker).
+        from repro.trace.chrome import chrome_trace
+
+        artifact = json.dumps(
+            chrome_trace(
+                result.events,
+                result.trace,
+                total_time=result.total_time,
+                label=result.label,
+            ),
+            separators=(",", ":"),
+        )
+    return index, result.to_json(), elapsed, artifact
 
 
-def _normalize_cache(
-    cache: ResultCache | str | os.PathLike | bool | None,
+class WorkerPool:
+    """Reusable process pool speaking the :mod:`repro.exec` worker protocol.
+
+    :func:`run_many` creates a throwaway pool per call unless one is
+    passed in via ``pool=``; long-lived callers (the simulation
+    service, repeated sweeps) keep one ``WorkerPool`` alive instead so
+    worker processes are spawned once and reused.  The pool is
+    reentrant: any number of ``run_many`` calls and direct
+    :meth:`submit`\\ s may share it concurrently — the underlying
+    executor serialises scheduling.
+
+    The executor is created lazily on first submission, so a
+    ``WorkerPool`` is cheap to construct and safe to keep as a
+    default.
+    """
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self._requested = workers
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int:
+        """Worker process count (``None`` request -> ``os.cpu_count()``)."""
+        return self._requested or os.cpu_count() or 1
+
+    @property
+    def active(self) -> bool:
+        """True once the executor exists (something was submitted)."""
+        return self._executor is not None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def submit(
+        self,
+        config_dict: dict,
+        *,
+        max_events: int | None = None,
+        index: int = 0,
+    ) -> Future:
+        """Run one config dict on the pool.
+
+        Returns a future of the worker protocol's
+        ``(index, result_json, elapsed, artifact)`` tuple.
+        """
+        return self._ensure().submit(_execute, (index, config_dict, max_events))
+
+    def submit_payload(
+        self,
+        payload: tuple[int, dict, int | None],
+        worker: Callable | None = None,
+    ) -> Future:
+        """Submit a raw worker payload (``run_many``'s internal entry)."""
+        return self._ensure().submit(worker or _execute, payload)
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop the executor; the pool can be reused afterwards (lazily)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _normalize_store(
+    store: ResultCache | str | os.PathLike | bool | None,
 ) -> ResultCache | None:
-    if cache is None or cache is False:
+    if store is None or store is False:
         return None
-    if cache is True:
+    if store is True:
         return ResultCache()
-    if isinstance(cache, ResultCache):
-        return cache
-    if isinstance(cache, (str, os.PathLike)):
-        return ResultCache(cache)
+    if isinstance(store, ResultCache):
+        return store
+    if isinstance(store, (str, os.PathLike)):
+        return ResultCache(store)
     raise ConfigurationError(
-        f"cache must be a ResultCache, path, bool or None, got {cache!r}"
+        f"store must be a ResultCache, path, bool or None, got {store!r}"
     )
 
 
@@ -91,10 +208,15 @@ def run_many(
     configs: Iterable[WorkStealingConfig | dict],
     *,
     jobs: int | None = 1,
-    cache: ResultCache | str | os.PathLike | bool | None = None,
+    store: ResultCache | str | os.PathLike | bool | None = None,
+    cache: ResultCache | str | os.PathLike | bool | None = _DEPRECATED,
     progress: Callable[[RunProgress], None] | None = None,
     max_events: int | None = None,
-) -> list[RunResult]:
+    timeout: float | None = None,
+    return_exceptions: bool = False,
+    pool: WorkerPool | None = None,
+    _worker: Callable | None = None,
+) -> list[RunResult | JobFailure]:
     """Run a batch of configs, in parallel, and return their results.
 
     Parameters
@@ -108,21 +230,53 @@ def run_many(
         process; ``None`` uses ``os.cpu_count()``.  Results are
         independent of ``jobs`` — same configs, same results, bit for
         bit.
-    cache:
-        ``True`` for the default on-disk cache
-        (``benchmarks/_cache/``), a path or :class:`ResultCache` for a
-        specific one, ``None``/``False`` to disable.  Hits skip the
-        simulator entirely; misses are written back after running.
+    store:
+        ``True`` for the default on-disk result store
+        (``benchmarks/_cache/``), a path or :class:`ResultCache`\\ /
+        :class:`~repro.service.store.ArtifactStore` for a specific
+        one, ``None``/``False`` to disable.  Hits skip the simulator
+        entirely; misses are written back after running.  (``cache=``
+        is the deprecated spelling of this keyword.)
     progress:
         Called once per finished config with a :class:`RunProgress`
         (cache hits first, then completions in finish order).
     max_events:
         Per-run event budget override, forwarded to the simulator.
+    timeout:
+        Per-job wall-clock budget in seconds, measured from the moment
+        the job starts executing.  An overrunning worker is
+        *abandoned* — its process is left to finish in the background
+        and its slot fails with :class:`~repro.errors.JobTimeoutError`
+        — so one hung job can no longer wedge the sweep.  Setting a
+        timeout forces process-pool execution even for ``jobs=1``
+        (an in-process run cannot be abandoned).
+    return_exceptions:
+        With ``True``, a job that raises (or times out) produces a
+        :class:`~repro.core.jobs.JobFailure` carrying the exception in
+        its slot — its state surfaces as ``JobState.FAILED`` — and the
+        rest of the batch completes normally.  With ``False`` (the
+        default) the first failure propagates.
+    pool:
+        A caller-owned :class:`WorkerPool` to run on (reentrant; not
+        shut down by this call).  Overrides ``jobs``.
 
     Returns
     -------
-    ``RunResult`` per input config, in input order.
+    One entry per input config, in input order: a ``RunResult``, or a
+    ``JobFailure`` when that job failed and ``return_exceptions=True``.
     """
+    if cache is not _DEPRECATED:
+        warnings.warn(
+            "run_many(cache=...) is deprecated, use store=... "
+            "(same accepted values)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if store is None:
+            store = cache
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+
     config_objs: list[WorkStealingConfig] = []
     for c in configs:
         if isinstance(c, dict):
@@ -137,9 +291,9 @@ def run_many(
     total = len(config_objs)
     dicts = [c.to_dict() for c in config_objs]
     fingerprints = [fingerprint_dict(d) for d in dicts]
-    store = _normalize_cache(cache)
+    result_store = _normalize_store(store)
 
-    results: list[RunResult | None] = [None] * total
+    results: list[RunResult | JobFailure | None] = [None] * total
     #: fingerprint -> indices sharing that config (batch deduplication).
     groups: dict[str, list[int]] = {}
     for i, fp in enumerate(fingerprints):
@@ -147,10 +301,10 @@ def run_many(
 
     done = 0
 
-    def _finish(fp: str, result: RunResult, elapsed: float, cached: bool) -> None:
+    def _emit(fp: str, value, elapsed: float, state: str, error=None) -> None:
         nonlocal done
         for i in groups[fp]:
-            results[i] = result
+            results[i] = value
             done += 1
             if progress is not None:
                 progress(
@@ -159,40 +313,142 @@ def run_many(
                         total=total,
                         done=done,
                         fingerprint=fp,
-                        label=result.label,
+                        label=value.label,
                         elapsed=elapsed,
-                        cached=cached,
+                        cached=state == "cached",
+                        state=state,
+                        error=error,
                     )
                 )
 
     # Cache pass: resolve whole groups without touching the simulator.
     pending: list[tuple[int, dict, int | None]] = []
     for fp, indices in groups.items():
-        hit = store.get(fp) if store is not None else None
+        hit = result_store.get(fp) if result_store is not None else None
         if hit is not None:
-            _finish(fp, hit, 0.0, cached=True)
+            _emit(fp, hit, 0.0, "cached")
         else:
             pending.append((indices[0], dicts[indices[0]], max_events))
 
-    def _complete(index: int, payload: str, elapsed: float) -> None:
+    def _complete(
+        index: int, payload: str, elapsed: float, artifact: str | None = None
+    ) -> None:
         fp = fingerprints[index]
         result = RunResult.from_json(payload)
-        if store is not None:
-            store.put(fp, result, config=dicts[index], elapsed=elapsed)
-        _finish(fp, result, elapsed, cached=False)
+        if result_store is not None:
+            result_store.put(fp, result, config=dicts[index], elapsed=elapsed)
+            if artifact is not None:
+                put_artifact = getattr(result_store, "put_artifact", None)
+                if put_artifact is not None:
+                    put_artifact(fp, "trace.json", artifact)
+        _emit(fp, result, elapsed, "done")
+
+    def _fail(index: int, exc: BaseException, elapsed: float) -> None:
+        fp = fingerprints[index]
+        failure = JobFailure(
+            fingerprint=fp,
+            label=config_objs[index].label(),
+            error=exc,
+            elapsed=elapsed,
+        )
+        _emit(fp, failure, elapsed, "failed", error=str(exc))
+
+    worker = _worker or _execute
 
     if pending:
         workers = jobs if jobs is not None else (os.cpu_count() or 1)
         if workers < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         workers = min(workers, len(pending))
-        if workers == 1:
+        if pool is None and timeout is None and workers == 1:
+            # Serial fast path: no process-pool overhead.
             for payload in pending:
-                _complete(*_execute(payload))
+                try:
+                    _complete(*worker(payload))
+                except Exception as exc:
+                    if not return_exceptions:
+                        raise
+                    _fail(payload[0], exc, 0.0)
         else:
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                futures = [executor.submit(_execute, p) for p in pending]
-                for future in as_completed(futures):
-                    _complete(*future.result())
+            _run_on_pool(
+                pending,
+                pool=pool,
+                workers=workers,
+                worker=worker,
+                timeout=timeout,
+                return_exceptions=return_exceptions,
+                labels=[c.label() for c in config_objs],
+                complete=_complete,
+                fail=_fail,
+            )
 
     return results  # type: ignore[return-value]  # every slot is filled
+
+
+def _run_on_pool(
+    pending: list[tuple[int, dict, int | None]],
+    *,
+    pool: WorkerPool | None,
+    workers: int,
+    worker: Callable,
+    timeout: float | None,
+    return_exceptions: bool,
+    labels: list[str],
+    complete: Callable,
+    fail: Callable,
+) -> None:
+    """Execute ``pending`` payloads on a (possibly shared) worker pool."""
+    own_pool = WorkerPool(workers) if pool is None else None
+    target = pool if pool is not None else own_pool
+    abandoned = False
+    try:
+        futures: dict[Future, tuple[int, dict, int | None]] = {
+            target.submit_payload(p, worker): p for p in pending
+        }
+        waiting = set(futures)
+        first_running: dict[Future, float] = {}
+        while waiting:
+            finished, _ = _futures_wait(
+                waiting,
+                timeout=_TIMEOUT_POLL if timeout is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in finished:
+                waiting.discard(future)
+                index = futures[future][0]
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    if not return_exceptions:
+                        abandoned = bool(waiting)
+                        raise
+                    fail(index, exc, 0.0)
+                else:
+                    complete(*payload)
+            if timeout is None:
+                continue
+            now = time.monotonic()
+            for future in list(waiting):
+                started = first_running.get(future)
+                if started is None:
+                    if future.running():
+                        first_running[future] = now
+                elif now - started >= timeout:
+                    # Abandon: the worker process keeps running in the
+                    # background, but this sweep moves on.
+                    future.cancel()
+                    waiting.discard(future)
+                    abandoned = True
+                    index = futures[future][0]
+                    exc = JobTimeoutError(
+                        f"job {labels[index]!r} exceeded its {timeout}s "
+                        "budget and was abandoned"
+                    )
+                    if not return_exceptions:
+                        raise exc
+                    fail(index, exc, now - started)
+    finally:
+        if own_pool is not None:
+            # Abandoned (or error-skipped) workers must not wedge the
+            # caller: drop the pool without waiting for them.
+            own_pool.shutdown(wait=not abandoned, cancel_pending=abandoned)

@@ -1,0 +1,51 @@
+"""repro.service — simulation-as-a-service over :mod:`repro.exec`.
+
+A long-running asyncio job front-end for the work-stealing simulator:
+
+* :class:`SimulationService` — accepts sweep submissions, dedups them
+  against the artifact store *and* against work already in flight
+  (one fingerprint, one execution), schedules with priority +
+  weighted fair share onto a shared worker pool, and streams typed
+  :class:`~repro.core.jobs.JobEvent`\\ s;
+* :class:`SweepHandle` — one submission's progress stream and results;
+* :class:`FairShareScheduler` — the deterministic queue discipline
+  (priority bands, stride-scheduled weighted fair share, per-client
+  FIFO);
+* :class:`ArtifactStore` — the versioned result + artifact store with
+  size-bounded LRU eviction (a drop-in ``run_many(store=...)`` value);
+* :func:`run_service_sweep` — the one-call synchronous wrapper;
+* ``python -m repro.service`` — submit preset sweeps from the shell;
+* ``python -m repro.service.loadgen`` — the service load benchmark.
+"""
+
+from repro.core.jobs import (
+    ArtifactRef,
+    Job,
+    JobEvent,
+    JobFailure,
+    JobState,
+)
+from repro.service.scheduler import ClientShare, FairShareScheduler
+from repro.service.service import (
+    ServiceStats,
+    SimulationService,
+    SweepHandle,
+    run_service_sweep,
+)
+from repro.service.store import ArtifactStore, StoreStats
+
+__all__ = [
+    "SimulationService",
+    "SweepHandle",
+    "ServiceStats",
+    "run_service_sweep",
+    "FairShareScheduler",
+    "ClientShare",
+    "ArtifactStore",
+    "StoreStats",
+    "ArtifactRef",
+    "Job",
+    "JobEvent",
+    "JobFailure",
+    "JobState",
+]

@@ -1,0 +1,322 @@
+"""Versioned artifact store with a size-bounded LRU eviction policy.
+
+:class:`ArtifactStore` promotes the plain result cache
+(``benchmarks/_cache/``, :class:`~repro.exec.cache.ResultCache`) into
+the durable storage layer of the simulation service:
+
+* **same layout, same entries** — results live as
+  ``<root>/<version>/<fingerprint>.json`` in exactly the cache's entry
+  format, so every cache written by earlier releases reads back
+  unchanged and ``run_many(store=...)`` accepts either class;
+* **artifacts** — arbitrary by-products of a run (Chrome-trace
+  exports, reports) stored next to their result under
+  ``<root>/<version>/artifacts/<fingerprint>.<kind>``;
+* **LRU eviction** — an optional byte budget (``max_bytes``); reads
+  refresh an entry's recency (mtime), writes trigger eviction of the
+  least-recently-used entries (result + its artifacts evict together)
+  until the store fits the budget;
+* **version hygiene** — entries of other package versions are invisible
+  (inherited from the cache); :meth:`purge_stale_versions` reclaims
+  their disk space.
+
+Everything is crash-safe the way the cache is: writes are atomic
+(temp file + ``os.replace``), corrupt entries read as misses, and
+eviction tolerates files disappearing underneath it (two services may
+share one store directory).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core.jobs import ArtifactRef
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.ws.results import RunResult
+
+__all__ = ["ArtifactStore", "StoreStats"]
+
+#: Artifact kinds are path components; keep them boring.
+_KIND_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Point-in-time accounting of one store version directory."""
+
+    #: Result entries of the active version.
+    entries: int
+    #: Artifact files of the active version.
+    artifacts: int
+    #: Bytes held (results + artifacts).
+    total_bytes: int
+    #: Configured budget (``None`` = unbounded).
+    max_bytes: int | None
+    #: Entries evicted since this store object was created.
+    evicted: int
+
+
+class ArtifactStore(ResultCache):
+    """Fingerprint-keyed result + artifact store with LRU eviction.
+
+    Parameters
+    ----------
+    root:
+        Store root (default: the cache's ``benchmarks/_cache``, or
+        ``$REPRO_CACHE_DIR``).
+    version:
+        Version directory to serve (default: the package version).
+    max_bytes:
+        Byte budget for the active version directory.  ``None`` (the
+        default) disables eviction — the store behaves like the plain
+        cache plus artifacts.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        version: str = __version__,
+        max_bytes: int | None = None,
+    ):
+        super().__init__(root, version)
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError(
+                f"max_bytes must be >= 1 or None, got {max_bytes}"
+            )
+        self.max_bytes = max_bytes
+        self._evicted = 0
+
+    # ------------------------------------------------------------------
+    # Results (cache-compatible, recency-tracked)
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        """Cached result for ``fingerprint``; refreshes LRU recency."""
+        result = super().get(fingerprint)
+        if result is not None:
+            self._touch(self.path_for(fingerprint))
+        return result
+
+    def put(
+        self,
+        fingerprint: str,
+        result: RunResult,
+        config: dict | None = None,
+        elapsed: float | None = None,
+    ) -> Path:
+        """Persist ``result``; evicts LRU entries past the byte budget."""
+        path = super().put(fingerprint, result, config=config, elapsed=elapsed)
+        self.evict()
+        return path
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+
+    @property
+    def artifacts_dir(self) -> Path:
+        """Directory holding artifacts for the active version."""
+        return self.dir / "artifacts"
+
+    def artifact_path(self, fingerprint: str, kind: str) -> Path:
+        return self.artifacts_dir / f"{fingerprint}.{self._check_kind(kind)}"
+
+    def put_artifact(
+        self, fingerprint: str, kind: str, payload: bytes | str
+    ) -> ArtifactRef:
+        """Store one artifact atomically; returns its reference."""
+        if isinstance(payload, str):
+            payload = payload.encode("utf-8")
+        path = self.artifact_path(fingerprint, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.evict()
+        return ArtifactRef(
+            fingerprint=fingerprint, kind=kind, path=path, nbytes=len(payload)
+        )
+
+    def get_artifact(self, fingerprint: str, kind: str) -> bytes | None:
+        """Artifact payload, or ``None`` when absent; refreshes recency."""
+        path = self.artifact_path(fingerprint, kind)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        self._touch(path)
+        # An artifact read also keeps its result entry warm: evicting
+        # the result while its trace is in active use would split the
+        # entry.
+        self._touch(self.path_for(fingerprint))
+        return payload
+
+    def artifacts_for(self, fingerprint: str) -> dict[str, Path]:
+        """``{kind: path}`` of every stored artifact of ``fingerprint``."""
+        out: dict[str, Path] = {}
+        prefix = f"{fingerprint}."
+        try:
+            names = sorted(p.name for p in self.artifacts_dir.iterdir())
+        except OSError:
+            return out
+        for name in names:
+            if name.startswith(prefix) and not name.endswith(".tmp"):
+                out[name[len(prefix):]] = self.artifacts_dir / name
+        return out
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Bytes held by the active version (results + artifacts)."""
+        return sum(size for _, _, size in self._entries())
+
+    def evict(self) -> list[str]:
+        """Drop least-recently-used entries until the budget fits.
+
+        A result entry and its artifacts evict as one unit, keyed by
+        the *most recent* access of any of the unit's files.  Returns
+        the evicted fingerprints (empty without a budget).  The newest
+        entry is evicted last — but even it goes if it alone exceeds
+        the budget; the budget is a hard ceiling, not advice.
+        """
+        if self.max_bytes is None:
+            return []
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        if total <= self.max_bytes:
+            return []
+        #: Oldest first; fingerprint tie-break keeps eviction stable on
+        #: coarse-mtime filesystems.
+        entries.sort(key=lambda e: (e[1], e[0]))
+        evicted: list[str] = []
+        for fingerprint, _, size in entries:
+            if total <= self.max_bytes:
+                break
+            self._remove_entry(fingerprint)
+            evicted.append(fingerprint)
+            total -= size
+        self._evicted += len(evicted)
+        return evicted
+
+    def stats(self) -> StoreStats:
+        """Current accounting (used by the service's status surface)."""
+        entries = self._entries()
+        n_artifacts = 0
+        try:
+            n_artifacts = sum(
+                1
+                for p in self.artifacts_dir.iterdir()
+                if not p.name.endswith(".tmp")
+            )
+        except OSError:
+            pass
+        return StoreStats(
+            entries=sum(1 for fp, _, _ in entries if self.path_for(fp).exists()),
+            artifacts=n_artifacts,
+            total_bytes=sum(size for _, _, size in entries),
+            max_bytes=self.max_bytes,
+            evicted=self._evicted,
+        )
+
+    def purge_stale_versions(self) -> int:
+        """Delete entry directories of other package versions.
+
+        Returns the number of files removed.  The active version is
+        never touched.
+        """
+        removed = 0
+        try:
+            version_dirs = [p for p in self.root.iterdir() if p.is_dir()]
+        except OSError:
+            return 0
+        for vdir in version_dirs:
+            if vdir.name == self.version:
+                continue
+            for path in sorted(vdir.rglob("*"), reverse=True):
+                try:
+                    if path.is_dir():
+                        path.rmdir()
+                    else:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    pass
+            try:
+                vdir.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_kind(kind: str) -> str:
+        if not _KIND_RE.match(kind):
+            raise ConfigurationError(
+                f"artifact kind must match {_KIND_RE.pattern}, got {kind!r}"
+            )
+        return kind
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _entries(self) -> list[tuple[str, float, int]]:
+        """``(fingerprint, last_access, unit_bytes)`` per stored unit.
+
+        Artifact-only units (result already gone) are included so
+        eviction can reclaim orphaned artifacts too.
+        """
+        units: dict[str, tuple[float, int]] = {}
+
+        def _add(fingerprint: str, path: Path) -> None:
+            try:
+                st = path.stat()
+            except OSError:
+                return
+            mtime, size = units.get(fingerprint, (0.0, 0))
+            units[fingerprint] = (max(mtime, st.st_mtime), size + st.st_size)
+
+        try:
+            for path in self.dir.glob("*.json"):
+                _add(path.stem, path)
+        except OSError:
+            pass
+        try:
+            for path in self.artifacts_dir.iterdir():
+                if path.name.endswith(".tmp"):
+                    continue
+                fingerprint = path.name.split(".", 1)[0]
+                _add(fingerprint, path)
+        except OSError:
+            pass
+        return [(fp, mtime, size) for fp, (mtime, size) in units.items()]
+
+    def _remove_entry(self, fingerprint: str) -> None:
+        paths = [self.path_for(fingerprint)]
+        paths.extend(self.artifacts_for(fingerprint).values())
+        for path in paths:
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -112,3 +112,37 @@ def _kind_of(lookup) -> str:
         allocation_by_name: "allocation",
         backend_by_name: "rng_backend",
     }[lookup]
+
+
+class TestSingleResolutionPath:
+    """``resolve``/``resolve_spec`` are the one documented way in."""
+
+    def test_unknown_name_raises_registry_error(self):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError) as exc:
+            registry.resolve("selector", "no-such-strategy")
+        assert "valid choices" in str(exc.value)
+
+    def test_registry_error_is_a_configuration_error(self):
+        from repro.errors import RegistryError
+
+        assert issubclass(RegistryError, ConfigurationError)
+
+    def test_resolve_spec_passes_objects_through(self):
+        selector = RoundRobinSelector()
+        assert registry.resolve_spec("selector", selector) is selector
+
+    def test_resolve_spec_resolves_strings(self):
+        obj = registry.resolve_spec("steal_policy", "half")
+        assert isinstance(obj, StealHalf)
+
+    def test_config_resolution_goes_through_resolve_spec(self):
+        from repro.core.config import WorkStealingConfig
+        from repro.errors import RegistryError
+        from repro.uts.params import T3XS
+
+        cfg = WorkStealingConfig(tree=T3XS, nranks=4, selector="random")
+        assert not isinstance(cfg.selector, str)
+        with pytest.raises(RegistryError):
+            WorkStealingConfig(tree=T3XS, nranks=4, selector="bogus")

@@ -67,21 +67,21 @@ class TestResultCache:
 class TestRunManyCacheIntegration:
     def test_second_run_hits_cache_without_simulating(self, tmp_path, cfg, monkeypatch):
         cache = ResultCache(tmp_path)
-        first = run_many([cfg], cache=cache)[0]
+        first = run_many([cfg], store=cache)[0]
         assert len(cache) == 1
 
         def _boom(payload):
             raise AssertionError("simulator invoked on a warm cache")
 
         monkeypatch.setattr("repro.exec.pool._execute", _boom)
-        second = run_many([cfg], cache=cache)[0]
+        second = run_many([cfg], store=cache)[0]
         assert second.to_json() == first.to_json()
 
     def test_cache_hit_reports_cached_progress(self, tmp_path, cfg):
         cache = ResultCache(tmp_path)
-        run_many([cfg], cache=cache)
+        run_many([cfg], store=cache)
         ticks = []
-        run_many([cfg], cache=cache, progress=ticks.append)
+        run_many([cfg], store=cache, progress=ticks.append)
         assert len(ticks) == 1
         assert ticks[0].cached and ticks[0].elapsed == 0.0
 
@@ -93,10 +93,10 @@ class TestRunManyCacheIntegration:
         ]
         assert len(configs) == 8
         cache = ResultCache(tmp_path)
-        cold = run_many(configs, jobs=2, cache=cache)
+        cold = run_many(configs, jobs=2, store=cache)
         assert len(cache) == 8
         ticks = []
-        warm = run_many(configs, jobs=2, cache=cache, progress=ticks.append)
+        warm = run_many(configs, jobs=2, store=cache, progress=ticks.append)
         assert all(t.cached for t in ticks)
         for a, b in zip(cold, warm):
             assert a.to_json() == b.to_json()
@@ -105,5 +105,5 @@ class TestRunManyCacheIntegration:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         cache = ResultCache()
         assert str(cache.dir).startswith(str(tmp_path / "envcache"))
-        run_many([cfg], cache=True)
+        run_many([cfg], store=True)
         assert len(ResultCache()) == 1

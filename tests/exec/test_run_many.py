@@ -7,8 +7,9 @@ import dataclasses
 import pytest
 
 from repro.core.config import WorkStealingConfig
-from repro.errors import ConfigurationError
-from repro.exec.pool import RunProgress, run_many
+from repro.core.jobs import JobFailure, JobState
+from repro.errors import ConfigurationError, JobTimeoutError
+from repro.exec.pool import RunProgress, WorkerPool, run_many
 from repro.uts.params import T3XS
 
 
@@ -76,7 +77,134 @@ class TestRunMany:
         with pytest.raises(ConfigurationError):
             run_many(_configs(1), jobs=0)
         with pytest.raises(ConfigurationError):
-            run_many(_configs(1), cache=3.14)
+            run_many(_configs(1), store=3.14)
 
     def test_empty_batch(self):
         assert run_many([]) == []
+
+
+# ----------------------------------------------------------------------
+# Failure isolation, per-job timeouts and pool reuse
+# ----------------------------------------------------------------------
+
+# Worker stand-ins must be module-level so they pickle to pool workers.
+
+
+def _boom_worker(payload):
+    index, config_dict, max_events = payload
+    if config_dict["seed"] == 1:
+        raise ValueError("injected failure")
+    from repro.exec.pool import _execute
+
+    return _execute(payload)
+
+
+def _sleepy_worker(payload):
+    import time as _time
+
+    index, config_dict, max_events = payload
+    if config_dict["seed"] == 1:
+        _time.sleep(1.5)
+    from repro.exec.pool import _execute
+
+    return _execute(payload)
+
+
+class TestFailureIsolation:
+    def test_worker_exception_raises_by_default(self):
+        with pytest.raises(ValueError, match="injected failure"):
+            run_many(_configs(3), jobs=2, _worker=_boom_worker)
+
+    def test_return_exceptions_isolates_failures(self):
+        configs = _configs(3)
+        ticks: list[RunProgress] = []
+        results = run_many(
+            configs,
+            jobs=2,
+            _worker=_boom_worker,
+            return_exceptions=True,
+            progress=ticks.append,
+        )
+        assert isinstance(results[1], JobFailure)
+        assert isinstance(results[1].error, ValueError)
+        assert results[1].state is JobState.FAILED
+        assert results[1].label == configs[1].label()
+        for i in (0, 2):
+            assert results[i].label == configs[i].label()
+        failed = [t for t in ticks if t.state == "failed"]
+        assert len(failed) == 1 and failed[0].error == "injected failure"
+
+    def test_serial_path_isolates_failures_too(self):
+        results = run_many(
+            _configs(2), jobs=1, _worker=_boom_worker, return_exceptions=True
+        )
+        assert isinstance(results[1], JobFailure)
+        assert results[0].label == _configs(2)[0].label()
+
+
+class TestTimeout:
+    def test_hung_job_does_not_wedge_the_sweep(self):
+        configs = _configs(3)
+        results = run_many(
+            configs,
+            jobs=3,
+            _worker=_sleepy_worker,
+            timeout=0.4,
+            return_exceptions=True,
+        )
+        assert isinstance(results[1], JobFailure)
+        assert isinstance(results[1].error, JobTimeoutError)
+        for i in (0, 2):
+            assert results[i].label == configs[i].label()
+
+    def test_timeout_raises_without_return_exceptions(self):
+        with pytest.raises(JobTimeoutError):
+            run_many(
+                _configs(2),
+                jobs=2,
+                _worker=_sleepy_worker,
+                timeout=0.4,
+            )
+
+    def test_timeout_forces_pool_for_serial_jobs(self):
+        # jobs=1 with a timeout still abandons the hung worker.
+        results = run_many(
+            _configs(2),
+            jobs=1,
+            _worker=_sleepy_worker,
+            timeout=0.4,
+            return_exceptions=True,
+        )
+        assert isinstance(results[1], JobFailure)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            run_many(_configs(1), timeout=0.0)
+
+
+class TestWorkerPool:
+    def test_shared_pool_is_reused_across_calls(self):
+        with WorkerPool(2) as pool:
+            first = run_many(_configs(2), pool=pool)
+            executor = pool._executor
+            assert executor is not None
+            second = run_many(_configs(2), pool=pool)
+            assert pool._executor is executor  # same processes, reused
+        for a, b in zip(first, second):
+            assert a.to_json() == b.to_json()
+
+    def test_direct_submit_speaks_worker_protocol(self):
+        cfg = _configs(1)[0]
+        with WorkerPool(1) as pool:
+            index, payload, elapsed, artifact = pool.submit(
+                cfg.to_dict(), index=7
+            ).result()
+        assert index == 7
+        assert artifact is None
+        from repro.ws.results import RunResult
+
+        assert RunResult.from_json(payload).label == cfg.label()
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0)

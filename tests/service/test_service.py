@@ -1,0 +1,295 @@
+"""Tests for the simulation service: dedup, fairness, streams, failure.
+
+There is no async test plugin in the baked-in toolchain, so every test
+drives its own loop with ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.config import WorkStealingConfig
+from repro.core.jobs import JobFailure, JobState
+from repro.errors import (
+    ConfigurationError,
+    JobCancelledError,
+    JobTimeoutError,
+    ServiceError,
+)
+from repro.service import ArtifactStore, SimulationService
+from repro.service.service import run_service_sweep
+from repro.uts.params import T3XS
+from repro.ws.runner import run_uts
+
+
+def _config(seed: int = 0) -> WorkStealingConfig:
+    return WorkStealingConfig(tree=T3XS, nranks=4, seed=seed)
+
+
+def _sim(config_dict: dict):
+    return run_uts(WorkStealingConfig.from_dict(config_dict))
+
+
+class TestDedup:
+    def test_concurrent_duplicate_submissions_execute_once(self):
+        """Two clients submit the same config while it runs: one execution."""
+        executions = []
+        running = threading.Event()
+        release = threading.Event()
+
+        def runner(config_dict):
+            executions.append(config_dict["seed"])
+            running.set()
+            assert release.wait(timeout=10)
+            return _sim(config_dict)
+
+        async def main():
+            async with SimulationService(2, runner=runner) as service:
+                first = await service.submit([_config()], client="alice")
+                await asyncio.to_thread(running.wait, 10)  # job is executing
+                second = await service.submit([_config()], client="bob")
+                assert service.stats().dedup_joins == 1
+                release.set()
+                r1 = await first.results()
+                r2 = await second.results()
+                return r1, r2
+
+        r1, r2 = asyncio.run(main())
+        assert executions == [0]  # provably exactly one execution
+        assert r1[0] is r2[0]  # both clients share the one result object
+
+    def test_queued_duplicates_join_before_dispatch(self):
+        executions = []
+
+        def runner(config_dict):
+            executions.append(config_dict["seed"])
+            return _sim(config_dict)
+
+        async def main():
+            service = SimulationService(1, runner=runner)
+            # Submit before start(): both land while nothing dispatches.
+            h1 = await service.submit([_config()], client="alice")
+            h2 = await service.submit([_config()], client="bob")
+            assert h1.jobs[0] is h2.jobs[0]  # literally the same job
+            async with service:
+                r1, r2 = await h1.results(), await h2.results()
+            return r1, r2
+
+        r1, r2 = asyncio.run(main())
+        assert executions == [0]
+        assert r1[0] is r2[0]
+
+    def test_store_hits_short_circuit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = run_service_sweep([_config()], workers=1, store=store)
+        second = run_service_sweep([_config()], workers=1, store=store)
+        assert first[0].to_json() == second[0].to_json()
+
+    def test_cached_jobs_emit_terminal_events(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        run_service_sweep([_config()], workers=1, store=store)
+
+        async def main():
+            async with SimulationService(1, store) as service:
+                handle = await service.submit([_config()])
+                return [event async for event in handle.events()]
+
+        events = asyncio.run(main())
+        assert [e.state for e in events] == [JobState.CACHED]
+        assert events[0].cached
+
+
+class TestFairShare:
+    def test_unequal_weights_order_dispatch(self):
+        order = []
+
+        def runner(config_dict):
+            order.append(config_dict["seed"])
+            return _sim(config_dict)
+
+        async def main():
+            service = SimulationService(1, runner=runner)
+            # Queue everything before dispatch starts so the order is
+            # purely the scheduler's (workers=1 => one at a time).
+            await service.submit(
+                [_config(s) for s in (10, 11, 12, 13)], client="alice"
+            )
+            await service.submit(
+                [_config(s) for s in (20, 21, 22, 23)],
+                client="bob",
+                weight=2.0,
+            )
+            async with service:
+                pass  # drain on exit
+
+        asyncio.run(main())
+        # Stride schedule, weights alice=1 bob=2: bob earns two
+        # dispatches per one of alice's, interleaved.
+        assert order == [10, 20, 21, 11, 22, 23, 12, 13]
+
+    def test_priority_beats_fair_share(self):
+        order = []
+
+        def runner(config_dict):
+            order.append(config_dict["seed"])
+            return _sim(config_dict)
+
+        async def main():
+            service = SimulationService(1, runner=runner)
+            await service.submit([_config(1), _config(2)], client="alice")
+            await service.submit([_config(9)], client="bob", priority=10)
+            async with service:
+                pass
+
+        asyncio.run(main())
+        assert order[0] == 9
+
+
+class TestCancellation:
+    def test_event_stream_terminates_on_cancel(self):
+        release = threading.Event()
+
+        def runner(config_dict):
+            assert release.wait(timeout=10)
+            return _sim(config_dict)
+
+        async def main():
+            async with SimulationService(1, runner=runner) as service:
+                handle = await service.submit([_config(0), _config(1)])
+                events = []
+
+                async def consume():
+                    async for event in handle.events():
+                        events.append(event)
+
+                consumer = asyncio.create_task(consume())
+                await asyncio.sleep(0.05)
+                await handle.cancel()
+                release.set()
+                # The stream must end promptly — this wait_for is the test.
+                await asyncio.wait_for(consumer, timeout=5)
+                results = await asyncio.wait_for(handle.results(), timeout=5)
+                return events, results
+
+        events, results = asyncio.run(main())
+        assert all(isinstance(r, JobFailure) for r in results)
+        assert all(isinstance(r.error, JobCancelledError) for r in results)
+        terminal = [e for e in events if e.state.terminal]
+        assert {e.state for e in terminal} == {JobState.FAILED}
+
+    def test_cancel_spares_jobs_shared_with_other_handles(self):
+        release = threading.Event()
+
+        def runner(config_dict):
+            assert release.wait(timeout=10)
+            return _sim(config_dict)
+
+        async def main():
+            async with SimulationService(1, runner=runner) as service:
+                keeper = await service.submit([_config()], client="alice")
+                leaver = await service.submit([_config()], client="bob")
+                await leaver.cancel()
+                # bob's handle resolves right away (stream closed at
+                # cancel, job still running) — before the job lands.
+                left = await asyncio.wait_for(leaver.results(), timeout=5)
+                release.set()
+                kept = await asyncio.wait_for(keeper.results(), timeout=10)
+                return kept, left
+
+        kept, left = asyncio.run(main())
+        assert not isinstance(kept[0], JobFailure)  # alice still got it
+        assert isinstance(left[0], JobFailure)  # bob's view: withdrawn
+
+
+class TestFailureModes:
+    def test_worker_exception_surfaces_as_job_failure(self):
+        def runner(config_dict):
+            raise ValueError("injected failure")
+
+        async def main():
+            async with SimulationService(1, runner=runner) as service:
+                handle = await service.submit([_config()])
+                events = [event async for event in handle.events()]
+                return events, await handle.results()
+
+        events, results = asyncio.run(main())
+        assert isinstance(results[0], JobFailure)
+        assert isinstance(results[0].error, ValueError)
+        assert events[-1].state is JobState.FAILED
+        assert events[-1].error == "injected failure"
+
+    def test_timeout_fails_job_without_wedging_service(self):
+        def runner(config_dict):
+            if config_dict["seed"] == 1:
+                time.sleep(1.0)
+            return _sim(config_dict)
+
+        async def main():
+            async with SimulationService(2, runner=runner) as service:
+                handle = await service.submit(
+                    [_config(0), _config(1)], timeout=0.3
+                )
+                return await asyncio.wait_for(handle.results(), timeout=10)
+
+        results = asyncio.run(main())
+        assert not isinstance(results[0], JobFailure)
+        assert isinstance(results[1], JobFailure)
+        assert isinstance(results[1].error, JobTimeoutError)
+
+    def test_submit_after_close_is_rejected(self):
+        async def main():
+            service = SimulationService(1, runner=_sim)
+            async with service:
+                pass
+            with pytest.raises(ServiceError):
+                await service.submit([_config()])
+
+        asyncio.run(main())
+
+    def test_rejects_bad_inputs(self):
+        async def main():
+            service = SimulationService(1, runner=_sim)
+            with pytest.raises(ConfigurationError):
+                await service.submit(["nope"])
+            with pytest.raises(ConfigurationError):
+                await service.submit([_config()], timeout=0.0)
+            async with service:
+                pass
+
+        asyncio.run(main())
+
+    def test_empty_sweep_resolves_immediately(self):
+        async def main():
+            async with SimulationService(1, runner=_sim) as service:
+                handle = await service.submit([])
+                assert [e async for e in handle.events()] == []
+                return await handle.results()
+
+        assert asyncio.run(main()) == []
+
+
+class TestPoolBacked:
+    """The real process-pool path (no injected runner)."""
+
+    def test_sweep_matches_direct_runner_and_stores_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = _config().replace(event_trace=True)
+        results = run_service_sweep([config], workers=1, store=store)
+        direct = run_uts(_config())
+        assert results[0].total_nodes == direct.total_nodes
+        # event_trace=True runs leave a Chrome-trace artifact behind.
+        fingerprint = store._entries()[0][0]
+        assert "trace.json" in store.artifacts_for(fingerprint)
+
+    def test_event_sequence_for_fresh_job(self):
+        async def main():
+            async with SimulationService(1) as service:
+                handle = await service.submit([_config()])
+                return [event.state async for event in handle.events()]
+
+        states = asyncio.run(main())
+        assert states == [JobState.QUEUED, JobState.STARTED, JobState.DONE]
