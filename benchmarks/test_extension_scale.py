@@ -22,10 +22,13 @@ from repro.bench.report import format_table, save_artifact
 
 NRANKS = 1024
 
-pytestmark = pytest.mark.skipif(
-    not os.environ.get("REPRO_EXTENDED"),
-    reason="extended-scale run; set REPRO_EXTENDED=1 to enable",
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_EXTENDED"),
+        reason="extended-scale run; set REPRO_EXTENDED=1 to enable",
+    ),
+]
 
 
 def _rows():

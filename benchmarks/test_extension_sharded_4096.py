@@ -1,0 +1,126 @@
+"""Extension: Fig 3/4 re-run *in regime* at 4096 ranks (sharded engine).
+
+The standard ladder tops out at 512 ranks, four orders of magnitude
+below the paper's 8192 processes and outside its work-per-rank regime
+(EXPERIMENTS.md "Validity boundary").  The sharded conservative-
+lookahead engine (`repro.sim.shard`, bit-identical to the sequential
+core) makes 4096-rank runs affordable, and the T3H tree (~32.1M nodes,
+~7.8k nodes/rank) restores the paper's work-per-rank band.  This rung
+replays the Fig 3 allocation comparison and the Fig 4 scheduling
+latencies at that scale.
+
+NIC serialisation is zeroed: the sharded engine excludes the global
+order-sensitive NIC queue (DESIGN.md §5d).  That changes what Fig 3
+can show here: without the shared-injection penalty the 8-per-node
+allocations lose their handicap, and the measured allocation spread
+collapses to <10% (8RR 200.1, 1/N 189.2, 8G 184.4) — the Fig 2
+regime, where the paper itself found allocations indistinguishable.
+The asserted shape is therefore the *collapse* of the allocation gap
+under zero injection cost (the control for Fig 3's mechanism), not
+8RR-worst, which needs the NIC model the ladder benchmarks keep.
+
+Skipped by default (minutes of runtime); enable with::
+
+    REPRO_EXTENDED=1 pytest benchmarks/test_extension_sharded_4096.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import cached_run, experiment_config
+from repro.bench.report import format_table, save_artifact
+
+NRANKS = 4096
+TREE = "T3H"
+GRID = np.arange(0.05, 0.91, 0.05)
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_EXTENDED"),
+        reason="extended-scale run; set REPRO_EXTENDED=1 to enable",
+    ),
+]
+
+
+def _run(allocation: str):
+    return cached_run(
+        experiment_config(
+            TREE,
+            NRANKS,
+            allocation=allocation,
+            selector="reference",
+            steal_policy="one",
+            trace=True,
+            nic_service_time=0.0,
+            engine="sharded",
+        )
+    )
+
+
+def _sweep():
+    return {alloc: _run(alloc) for alloc in ("1/N", "8RR", "8G")}
+
+
+def test_fig03_in_regime_4096(once):
+    results = once(_sweep)
+    rows = [
+        [alloc, r.speedup, r.efficiency, r.failed_steals]
+        for alloc, r in results.items()
+    ]
+    print(f"== Fig 3 in regime: x{NRANKS} ranks on {TREE} (sharded) ==")
+    print(format_table(["allocation", "speedup", "eff", "failed"], rows))
+    save_artifact(
+        "extension_sharded_4096_fig03",
+        {
+            alloc: {
+                "speedup": r.speedup,
+                "efficiency": r.efficiency,
+                "total_time": r.total_time,
+                "failed_steals": r.failed_steals,
+            }
+            for alloc, r in results.items()
+        },
+    )
+
+    values = [r.speedup for r in results.values()]
+    # With injection cost zeroed the allocation gap collapses (< 10%):
+    # Fig 3's 8RR-worst ordering is NIC-driven, and this rung is its
+    # control.  The ladder benchmarks (fig03, NIC on) keep the
+    # ordering assertion.
+    assert max(values) < min(values) * 1.10
+    # In regime the reference extracts far more parallelism than the
+    # out-of-regime ladder top (512 ranks saturates near 60).
+    assert results["1/N"].speedup > 150
+
+
+def test_fig04_in_regime_4096(once):
+    results = once(_sweep)
+    profile = results["1/N"].latency_profile(GRID)
+    save_artifact(
+        "extension_sharded_4096_fig04",
+        {
+            "occupancy": GRID.tolist(),
+            "SL": profile.starting.tolist(),
+            "EL": profile.ending.tolist(),
+            "max_occupancy": profile.max_occupancy,
+        },
+    )
+    # Calibrated against the recorded artifact (max_occupancy 0.107,
+    # SL(5%) 0.028, EL(5%) 0.245 — deterministic, so exact on rerun):
+    # even in the work-per-rank regime the compressed tree's critical
+    # path caps occupancy near 10% at 4096 ranks, but the machine
+    # ramps to its plateau within ~3% of the runtime and holds it for
+    # ~3/4 of the run — Fig 4's early-fill/late-drain shape, at the
+    # occupancy level the drain tail allows.
+    assert profile.max_occupancy >= 0.10
+    idx05 = int(np.argmin(np.abs(GRID - 0.05)))
+    assert profile.starting[idx05] < 0.05
+    assert profile.ending[idx05] < 0.30
+    # SL is monotone in occupancy by construction.
+    sl = profile.starting[~np.isnan(profile.starting)]
+    assert np.all(np.diff(sl) >= -1e-12)

@@ -53,7 +53,15 @@ __all__ = ["WorkStealingConfig", "FINGERPRINT_EXCLUDED_FIELDS"]
 #: fields describe the same simulation and must share a fingerprint —
 #: otherwise the result cache would re-run identical physics and
 #: cached results could not satisfy traced requests.
-FINGERPRINT_EXCLUDED_FIELDS = frozenset({"event_trace", "event_trace_capacity"})
+#:
+#: The execution-engine knobs (``engine``, ``shards``,
+#: ``shard_workers``) are excluded on the same ground: the sharded
+#: engine is bit-identical to the sequential one (the differential
+#: suite in ``tests/sim/test_sharded.py`` is the proof), so they
+#: select *how* the simulation is computed, never *what* it computes.
+FINGERPRINT_EXCLUDED_FIELDS = frozenset(
+    {"event_trace", "event_trace_capacity", "engine", "shards", "shard_workers"}
+)
 
 
 @dataclass
@@ -104,6 +112,21 @@ class WorkStealingConfig:
     #: lifelines (only meaningful when ``lifelines > 0``).
     lifeline_threshold: int = 8
 
+    #: Simulation engine: ``"sequential"`` (the single event queue) or
+    #: ``"sharded"`` (:mod:`repro.sim.shard` — per-rank-group queues
+    #: with conservative lookahead windows).  Bit-identical results;
+    #: excluded from fingerprints (see
+    #: :data:`FINGERPRINT_EXCLUDED_FIELDS`).
+    engine: str = "sequential"
+    #: Shard count for ``engine="sharded"``; 0 picks automatically
+    #: from ``nranks``.
+    shards: int = 0
+    #: Worker processes hosting the shards: 1 runs every shard
+    #: in-process (the default — this machine class is single-core and
+    #: the engine's speedup is structural, not parallel); > 1 spreads
+    #: shards over that many OS processes.
+    shard_workers: int = 1
+
     def __post_init__(self) -> None:
         if self.nranks < 1:
             raise ConfigurationError(f"nranks must be >= 1, got {self.nranks}")
@@ -149,6 +172,26 @@ class WorkStealingConfig:
         if self.lifeline_threshold < 1:
             raise ConfigurationError(
                 f"lifeline_threshold must be >= 1, got {self.lifeline_threshold}"
+            )
+        if self.engine not in ("sequential", "sharded"):
+            raise ConfigurationError(
+                f"engine must be 'sequential' or 'sharded', got {self.engine!r}"
+            )
+        if self.shards < 0:
+            raise ConfigurationError(
+                f"shards must be >= 0 (0 = auto), got {self.shards}"
+            )
+        if self.shard_workers < 1:
+            raise ConfigurationError(
+                f"shard_workers must be >= 1, got {self.shard_workers}"
+            )
+        if self.engine == "sharded" and self.nic_service_time > 0:
+            # The NIC port queue is order-sensitive global state mutated
+            # at send time; it cannot be advanced shard-locally without
+            # breaking bit-identity.  Sharded runs must disable it.
+            raise ConfigurationError(
+                "engine='sharded' requires nic_service_time=0 "
+                "(NIC contention is a global order-sensitive queue)"
             )
         # Resolve string shorthands once, all through the single
         # resolution path (repro.core.registry.resolve_spec); resolution
@@ -300,6 +343,9 @@ class WorkStealingConfig:
             "node_cap": self.node_cap,
             "lifelines": self.lifelines,
             "lifeline_threshold": self.lifeline_threshold,
+            "engine": self.engine,
+            "shards": self.shards,
+            "shard_workers": self.shard_workers,
         }
 
     @classmethod

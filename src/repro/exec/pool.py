@@ -43,7 +43,6 @@ from __future__ import annotations
 import json
 import os
 import time
-import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass
@@ -61,9 +60,6 @@ __all__ = ["run_many", "RunProgress", "WorkerPool"]
 
 #: Seconds between deadline checks when a per-job timeout is armed.
 _TIMEOUT_POLL = 0.05
-
-#: Sentinel for the deprecated ``cache=`` keyword.
-_DEPRECATED = object()
 
 
 @dataclass(frozen=True)
@@ -209,7 +205,6 @@ def run_many(
     *,
     jobs: int | None = 1,
     store: ResultCache | str | os.PathLike | bool | None = None,
-    cache: ResultCache | str | os.PathLike | bool | None = _DEPRECATED,
     progress: Callable[[RunProgress], None] | None = None,
     max_events: int | None = None,
     timeout: float | None = None,
@@ -235,8 +230,7 @@ def run_many(
         (``benchmarks/_cache/``), a path or :class:`ResultCache`\\ /
         :class:`~repro.service.store.ArtifactStore` for a specific
         one, ``None``/``False`` to disable.  Hits skip the simulator
-        entirely; misses are written back after running.  (``cache=``
-        is the deprecated spelling of this keyword.)
+        entirely; misses are written back after running.
     progress:
         Called once per finished config with a :class:`RunProgress`
         (cache hits first, then completions in finish order).
@@ -265,15 +259,6 @@ def run_many(
     One entry per input config, in input order: a ``RunResult``, or a
     ``JobFailure`` when that job failed and ``return_exceptions=True``.
     """
-    if cache is not _DEPRECATED:
-        warnings.warn(
-            "run_many(cache=...) is deprecated, use store=... "
-            "(same accepted values)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if store is None:
-            store = cache
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"timeout must be > 0, got {timeout}")
 

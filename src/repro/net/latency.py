@@ -86,6 +86,30 @@ class LatencyModel(ABC):
 
         return row
 
+    def min_remote_latency(self) -> float:
+        """Lower bound on the latency between ranks on *different* nodes.
+
+        This is the conservative lookahead window of the sharded engine
+        (:mod:`repro.sim.shard`): with node-aligned shards, any
+        cross-shard message pays at least this much wire time, so a
+        shard may advance that far past the global clock before a
+        synchronisation point.  Must be a true lower bound (an
+        overestimate would break bit-identity with the sequential
+        engine); returning ``0.0`` — the conservative default for
+        custom models — disables the sharded engine for that model.
+        """
+        return 0.0
+
+    def min_any_latency(self) -> float:
+        """Lower bound on the latency between any two *distinct* ranks.
+
+        The fallback lookahead when a shard partition cannot be
+        node-aligned (e.g. randomised allocations): still a valid
+        conservative window, just narrower than
+        :meth:`min_remote_latency`.
+        """
+        return 0.0
+
     def to_spec(self) -> dict:
         """Serializable description: ``{"kind": ..., <float params>}``.
 
@@ -133,6 +157,12 @@ class UniformLatency(LatencyModel):
 
         return row
 
+    def min_remote_latency(self) -> float:
+        return self.latency
+
+    def min_any_latency(self) -> float:
+        return self.latency
+
 
 class HopLatency(LatencyModel):
     """``base + per_hop * hops`` with a shared-memory intra-node fast path."""
@@ -170,6 +200,13 @@ class HopLatency(LatencyModel):
             return self._validate_row(out, i)
 
         return row
+
+    def min_remote_latency(self) -> float:
+        # Distinct nodes are >= 0 hops apart, so base is the floor.
+        return self.base
+
+    def min_any_latency(self) -> float:
+        return min(self.intra_node, self.base)
 
 
 class HierarchicalLatency(LatencyModel):
@@ -250,6 +287,14 @@ class HierarchicalLatency(LatencyModel):
             return self._validate_row(out, i)
 
         return row
+
+    def min_remote_latency(self) -> float:
+        # Off-node pairs pay blade, cube, or base + per_hop * hops with
+        # hops >= 0 — blade <= cube by construction, base stands alone.
+        return min(self.blade, self.base)
+
+    def min_any_latency(self) -> float:
+        return min(self.intra_node, self.base)
 
 
 class KComputerLatency(HierarchicalLatency):

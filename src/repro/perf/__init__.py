@@ -14,7 +14,11 @@ targets and emits a ``BENCH_<n>.json`` with before/after numbers:
 * **end-to-end** — wall time of that same run;
 * **placement scale** — building an 8192-rank placement and proving
   the lazy :class:`~repro.net.pairwise.PairwiseMetric` rows never
-  materialise a dense N x N matrix.
+  materialise a dense N x N matrix;
+* **sharded throughput** — events/second of the sharded
+  conservative-lookahead engine vs shard count, against an interleaved
+  same-machine single-queue baseline (``python -m repro.perf.sharded``
+  writes this rung as ``BENCH_4.json``).
 
 Scenario functions are plain callables returning dicts so tests can
 drive them with small sizes; the CLI composes them into the JSON
@@ -24,6 +28,7 @@ artifact (see ``__main__``).
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 from repro.bench.experiments import experiment_config
 from repro.net.allocation import allocation_by_name, build_placement
@@ -38,6 +43,7 @@ __all__ = [
     "bench_selector_sampling",
     "bench_event_throughput",
     "bench_placement_scale",
+    "bench_sharded_throughput",
 ]
 
 #: Event throughput of the Fig 2 configuration measured at the commit
@@ -149,6 +155,101 @@ def bench_event_throughput(
         "nodes": nodes,
         "seconds": round(best_seconds, 6) if best_seconds else None,
         "events_per_sec": round(best_evps),
+    }
+
+
+def bench_sharded_throughput(
+    tree: str = "T3L",
+    nranks: int = 1024,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    trials: int = 2,
+    sequential_trials: int | None = None,
+) -> dict:
+    """Events/sec of the sharded engine vs shard count, with the
+    single-queue engine measured *interleaved* on the same machine.
+
+    Each trial is one round: a sequential ``Cluster.run`` followed by a
+    ``ShardedCluster.run`` per shard count, so the engines see the same
+    machine state within a round and the ratio is not polluted by CPU
+    drift (the BENCH_2 method).  ``sequential_trials`` caps the
+    baseline runs separately — at 4096 ranks the sequential engine is
+    the very bottleneck this rung documents, and one ~half-hour
+    baseline is enough.
+
+    NIC contention is off for both engines (the sharded engine rejects
+    it; the sequential run must match the configuration bit for bit).
+    """
+    from repro.sim.shard import ShardedCluster
+
+    cfg = experiment_config(
+        tree,
+        nranks,
+        allocation="1/N",
+        selector="reference",
+        steal_policy="one",
+        nic_service_time=0.0,
+    )
+    if sequential_trials is None:
+        sequential_trials = trials
+
+    best: dict[str, dict] = {}
+
+    def record(key: str, outcome, elapsed: float, extra: dict) -> None:
+        evps = outcome.events_processed / elapsed if elapsed else 0.0
+        slot = best.get(key)
+        if slot is None or evps > slot["events_per_sec"]:
+            best[key] = {
+                "events": outcome.events_processed,
+                "nodes": outcome.total_nodes,
+                "seconds": round(elapsed, 6),
+                "events_per_sec": round(evps),
+                **extra,
+            }
+
+    for trial in range(max(trials, sequential_trials)):
+        if trial < sequential_trials:
+            t0 = time.perf_counter()
+            outcome = Cluster(cfg).run()
+            record(
+                "sequential",
+                outcome,
+                time.perf_counter() - t0,
+                {"engine": "sequential"},
+            )
+        if trial < trials:
+            for shards in shard_counts:
+                sharded_cfg = replace(cfg, engine="sharded", shards=shards)
+                t0 = time.perf_counter()
+                outcome = ShardedCluster(sharded_cfg).run()
+                record(
+                    f"sharded-{shards}",
+                    outcome,
+                    time.perf_counter() - t0,
+                    {"engine": "sharded", "shards": shards},
+                )
+
+    seq = best.get("sequential")
+    rows = [best[f"sharded-{s}"] for s in shard_counts]
+    if seq is not None:
+        for row in rows:
+            row["speedup_vs_sequential"] = round(
+                row["events_per_sec"] / seq["events_per_sec"], 2
+            )
+            # Both engines must have simulated the identical job.
+            if (row["events"], row["nodes"]) != (seq["events"], seq["nodes"]):
+                raise AssertionError(
+                    f"engines diverged on {tree}@{nranks}: "
+                    f"sequential {seq['events']}/{seq['nodes']} vs "
+                    f"sharded-{row['shards']} {row['events']}/{row['nodes']}"
+                )
+    return {
+        "tree": tree,
+        "nranks": nranks,
+        "trials": trials,
+        "sequential_trials": sequential_trials,
+        "method": "interleaved rounds, best-of per engine, same machine",
+        "sequential": seq,
+        "sharded": rows,
     }
 
 

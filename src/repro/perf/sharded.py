@@ -1,0 +1,134 @@
+"""Sharded-engine throughput rung: ``python -m repro.perf.sharded``.
+
+Writes ``BENCH_4.json``: events/second of the conservative-lookahead
+sharded engine (:mod:`repro.sim.shard`) versus shard count, with the
+single-queue engine measured interleaved on the same machine (the
+BENCH_2 method).  Two rungs by default:
+
+* **T3L @ 1024 ranks** — the old top of the large ladder, where the
+  shard-count curve is cheap enough to sweep;
+* **T3XL @ 4096 ranks** — the scale the single-queue engine cannot
+  reach in practice; its one baseline run is the point of the rung.
+
+Usage::
+
+    python -m repro.perf.sharded                 # full, ~30+ min
+    python -m repro.perf.sharded --quick         # CI smoke (~seconds)
+    python -m repro.perf.sharded --skip-4096     # only the 1024 rung
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+
+from repro.perf import bench_sharded_throughput
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.sharded",
+        description="Benchmark the sharded engine and emit BENCH JSON.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--skip-4096",
+        action="store_true",
+        help="skip the 4096-rank rung (its sequential baseline is slow)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_4.json",
+        help="output JSON path (default: BENCH_4.json)",
+    )
+    args = parser.parse_args(argv)
+
+    def stage(label):
+        print(f"[perf.sharded] {label} ...", file=sys.stderr, flush=True)
+
+    rungs = []
+    if args.quick:
+        stage("quick rung (T3S, 64 ranks)")
+        rungs.append(
+            bench_sharded_throughput(
+                tree="T3S", nranks=64, shard_counts=(1, 2), trials=1
+            )
+        )
+    else:
+        stage("T3L, 1024 ranks, shard sweep")
+        rungs.append(
+            bench_sharded_throughput(
+                tree="T3L",
+                nranks=1024,
+                shard_counts=(1, 2, 4, 8),
+                trials=2,
+                sequential_trials=1,
+            )
+        )
+        if not args.skip_4096:
+            stage("T3XL, 4096 ranks (sequential baseline is ~30 min)")
+            rungs.append(
+                bench_sharded_throughput(
+                    tree="T3XL",
+                    nranks=4096,
+                    shard_counts=(8,),
+                    trials=1,
+                    sequential_trials=1,
+                )
+            )
+
+    headline = {}
+    top = rungs[-1]
+    if top["sequential"] is not None and top["sharded"]:
+        best = max(top["sharded"], key=lambda r: r["events_per_sec"])
+        headline = {
+            "rung": f"{top['tree']}@{top['nranks']}",
+            "sharded_events_per_sec": best["events_per_sec"],
+            "sequential_events_per_sec": top["sequential"]["events_per_sec"],
+            "speedup": best["speedup_vs_sequential"],
+            "shards": best["shards"],
+        }
+
+    report = {
+        "schema": "repro-perf-sharded-v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "results": rungs,
+        "headline": headline,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(json.dumps(headline, indent=2))
+    print(f"[perf.sharded] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -170,7 +170,7 @@ class Cluster:
             arrival = self.nic.deliver(dst, depart + wire)
         else:
             arrival = when + wire
-        self.engine.push(arrival, EVT_MSG, dst, payload)
+        self.engine.push(arrival, EVT_MSG, dst, payload, src)
 
     def schedule_exec(self, rank: int, when: float) -> None:
         # Inlined EventQueue.push: one EXEC event per work quantum
@@ -180,8 +180,10 @@ class Cluster:
             raise SimulationError(
                 f"event scheduled at {when} before current time {engine.now}"
             )
-        heapq.heappush(engine._heap, (when, engine._seq, EVT_EXEC, rank, None))
-        engine._seq += 1
+        rs = engine._rank_seq
+        seq = rs.get(rank, 0)
+        rs[rank] = seq + 1
+        heapq.heappush(engine._heap, (when, rank, seq, EVT_EXEC, rank, None))
 
     def rank_became_idle(self, rank: int, when: float) -> None:
         self._dispatch_token_action(rank, self.termination.rank_idle(rank), when)
@@ -222,7 +224,7 @@ class Cluster:
         event_recorders = self.event_recorders
         try:
             while heap:
-                time, _seq, kind, rank, payload = heappop(heap)
+                time, _pusher, _seq, kind, rank, payload = heappop(heap)
                 engine.now = time
                 processed += 1
                 if processed > max_events:
@@ -311,5 +313,5 @@ class Cluster:
         row0 = self._latency.row(0)
         for rank in range(1, self.config.nranks):
             self.engine.push(
-                when + row0[rank], EVT_MSG, rank, Finish()
+                when + row0[rank], EVT_MSG, rank, Finish(), 0
             )

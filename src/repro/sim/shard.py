@@ -1,0 +1,1099 @@
+"""Sharded conservative-lookahead simulation engine.
+
+The single-queue :class:`~repro.sim.cluster.Cluster` processes every
+event of the job through one heap and one shared latency-row cache; at
+1024+ ranks the cache (128 rows) thrashes and each message send pays an
+O(N) row rebuild — the profile shows 73% of wall time there at 512
+ranks.  :class:`ShardedCluster` splits the rank space into contiguous,
+node-aligned *shards*, each with its own event heap, its own
+termination-detector slice, and — the structural performance win — its
+own latency-row cache sized to the shard's senders, so every send is a
+cache hit regardless of job scale.
+
+Correctness rests on the classic conservative-synchronisation argument
+(Chandy–Misra–Bryant), specialised to our fixed latency models:
+
+* every cross-shard message is cross-node (shards are node-aligned),
+  so it pays at least ``L = latency_model.min_remote_latency()`` of
+  wire time;
+* therefore, if ``W`` is the earliest pending event time anywhere, no
+  shard can receive a new message before ``W + L`` — each shard may
+  process all its events with ``time < W + L`` *locally*, in any
+  inter-shard interleaving, before the next exchange.
+
+Bit-identity with the sequential engine (not just statistical
+equivalence) follows from the event key design in
+:mod:`repro.sim.engine`: events are ordered by ``(time, pusher,
+per-pusher seq)``, a globally unique key computable by the pusher's
+home shard alone.  Both engines deliver each rank's events in exactly
+the same order, so every float is computed by the same operations in
+the same sequence.  ``tests/sim/test_sharded.py`` asserts this across
+the whole selector × steal-policy registry, byte-for-byte on the
+canonical trace encoding.
+
+Termination needs one refinement: Dijkstra-ring termination fires at
+rank 0 and atomically drops every in-flight message, so the triggering
+event must be processed when it is the *global* minimum and no shard
+has advanced past it.  The only events that can trigger it
+("candidates") are a token arriving at rank 0 and an EXEC at rank 0
+with an empty stack; shard 0 stops its window early at a candidate and
+reports its key, which caps how far the other shards may advance.
+When the candidate becomes the global minimum it is processed alone.
+
+``shard_workers > 1`` distributes shards over OS processes connected
+by pipes, each rebuilding its placement deterministically from the
+config.  (The :mod:`repro.exec` ``WorkerPool`` is not reused here: its
+executor does not pin tasks to processes, and the barrier loop needs
+resident per-process shard state.)  On single-core machines this mode
+exists for isolation/determinism testing; the throughput win of the
+engine is the cache locality, not parallelism.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from bisect import bisect_right
+
+from repro.core.config import WorkStealingConfig
+from repro.core.tracing import TraceRecorder
+from repro.errors import ConfigurationError, SimulationError, TerminationError
+from repro.net.allocation import build_placement
+from repro.net.pairwise import PairwiseMetric
+from repro.sim.clock import ClockSkewModel
+from repro.sim.cluster import SimOutcome
+from repro.sim.engine import DEFAULT_MAX_EVENTS, EVT_EXEC, EVT_MSG
+from repro.sim.messages import TAG_STEAL_RESPONSE, TAG_TOKEN, Finish, Token
+from repro.sim.termination import DijkstraTermination, TokenAction
+from repro.sim.worker import Worker, WorkerStatus
+from repro.trace.events import EV_TOKEN, EventRecorder
+from repro.uts.tree import TreeGenerator
+
+__all__ = ["ShardedCluster", "auto_shards", "shard_bounds"]
+
+
+def auto_shards(nranks: int) -> int:
+    """Default shard count: one shard per ~512 ranks, capped at 16."""
+    return max(1, min(16, nranks // 512))
+
+
+def shard_bounds(
+    nranks: int, nshards: int, rank_nodes
+) -> tuple[list[int], bool]:
+    """Contiguous rank-block boundaries, snapped to node boundaries.
+
+    Returns ``(bounds, aligned)`` with ``bounds[s]..bounds[s+1]`` the
+    rank range of shard ``s``.  Each ideal cut ``s * nranks / nshards``
+    is moved down to the nearest index where the hosting node changes,
+    so no compute node spans two shards and cross-shard traffic is
+    guaranteed cross-node.  If a cut cannot be node-aligned (e.g. a
+    randomised allocation interleaves nodes arbitrarily), the ideal
+    cuts are kept and ``aligned`` is False — the caller must then use
+    the narrower any-pair latency bound as its lookahead.
+    """
+    nshards = max(1, min(nshards, nranks))
+    ideal = [(s * nranks) // nshards for s in range(nshards + 1)]
+    if nshards == 1:
+        return ideal, True
+    snapped = [0]
+    for cut in ideal[1:-1]:
+        j = cut
+        while j > snapped[-1] and rank_nodes[j] == rank_nodes[j - 1]:
+            j -= 1
+        if j > snapped[-1]:
+            snapped.append(j)
+    snapped.append(nranks)
+    if len(snapped) == nshards + 1:
+        # A run boundary is not enough: interleaved allocations (e.g.
+        # round-robin [0,1,0,1,...]) change node at every rank while
+        # every node still spans every shard.  Alignment requires each
+        # node's ranks to land entirely inside one shard.
+        shard_of: dict = {}
+        s = 0
+        aligned = True
+        for r in range(nranks):
+            while r >= snapped[s + 1]:
+                s += 1
+            node = rank_nodes[r]
+            prev = shard_of.setdefault(node, s)
+            if prev != s:
+                aligned = False
+                break
+        if aligned:
+            return snapped, True
+    return ideal, False
+
+
+class _WorkerSnapshot:
+    """Picklable stand-in for a :class:`Worker` shipped across processes.
+
+    Carries exactly the attributes :class:`SimOutcome` consumers
+    (``repro.ws.results``, the cluster post-checks) read from workers.
+    """
+
+    __slots__ = (
+        "rank",
+        "status",
+        "sessions",
+        "nodes_processed",
+        "steal_requests_sent",
+        "failed_steals",
+        "successful_steals",
+        "requests_served",
+        "requests_denied",
+        "chunks_sent",
+        "nodes_sent",
+        "chunks_received",
+        "nodes_received",
+        "service_time",
+        "finish_time",
+        "search_time",
+        "stack_empty",
+    )
+
+    def __init__(self, worker: Worker):
+        self.rank = worker.rank
+        self.status = worker.status
+        self.sessions = worker.sessions
+        self.nodes_processed = worker.nodes_processed
+        self.steal_requests_sent = worker.steal_requests_sent
+        self.failed_steals = worker.failed_steals
+        self.successful_steals = worker.successful_steals
+        self.requests_served = worker.requests_served
+        self.requests_denied = worker.requests_denied
+        self.chunks_sent = worker.chunks_sent
+        self.nodes_sent = worker.nodes_sent
+        self.chunks_received = worker.chunks_received
+        self.nodes_received = worker.nodes_received
+        self.service_time = worker.service_time
+        self.finish_time = worker.finish_time
+        self.search_time = worker.search_time
+        self.stack_empty = worker.stack.is_empty
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+class _Shard:
+    """One rank block: local heap, workers, detector slice, transport.
+
+    Implements the worker :class:`~repro.sim.worker.Transport`
+    protocol.  Sends to local ranks push straight into the local heap;
+    cross-shard sends are staged, pre-keyed, into per-target outboxes
+    and merged at the next exchange — heap order is fully determined by
+    the globally unique keys, so merge order cannot matter.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        bounds: list[int],
+        config: WorkStealingConfig,
+        placement,
+        clock: ClockSkewModel,
+        generator: TreeGenerator,
+        max_events: int,
+        recorders: list[TraceRecorder] | None,
+        event_recorders: list[EventRecorder] | None,
+    ):
+        self.index = index
+        self.bounds = bounds
+        self.lo = bounds[index]
+        self.hi = bounds[index + 1]
+        self.nranks = config.nranks
+        self.config = config
+        self.placement = placement
+        self.clock = clock
+        self.detector = DijkstraTermination(config.nranks)
+
+        # The structural perf win: a shard-private latency metric whose
+        # row cache covers every local sender (plus row 0 for the
+        # finish broadcast), so sends never rebuild a row after warmup.
+        # Memory: (hi - lo + 1) rows of N float64 per shard.
+        model = config.latency_model
+        self._latency = PairwiseMetric(
+            config.nranks,
+            model.row_builder(placement.topology, placement.rank_nodes),
+            name=f"latency/shard{index}",
+            cache_rows=self.hi - self.lo + 1,
+        )
+        self._latency_value = self._latency.value
+
+        self._heap: list = []
+        self._rank_seq: dict[int, int] = {}
+        self.now = 0.0
+        self.processed = 0
+        self._max_events = max_events
+        self._outbox: list[list] = [[] for _ in range(len(bounds) - 1)]
+        self._finishing = False
+        self.messages_dropped = 0
+        self.nodes_total = 0
+        self._node_budget = config.node_cap
+        #: Set by ``_local_finish`` (shard 0 only): ``(when, c0)``.
+        self.finish_info: tuple[float, int] | None = None
+        self._transfer_time_per_node = config.transfer_time_per_node
+
+        self.recorders = recorders
+        self.event_recorders = event_recorders
+        self.workers: list[Worker] = []
+        for rank in range(self.lo, self.hi):
+            selector = (
+                config.selector.make(
+                    rank, config.nranks, placement, seed=config.seed
+                )
+                if config.nranks > 1
+                else None
+            )
+            worker_kwargs = dict(
+                rank=rank,
+                nranks=config.nranks,
+                generator=generator,
+                selector=selector,
+                policy=config.steal_policy,
+                transport=self,
+                chunk_size=config.chunk_size,
+                poll_interval=config.poll_interval,
+                per_node_time=config.per_node_time,
+                steal_service_time=config.steal_service_time,
+                trace=recorders[rank] if recorders else None,
+                events=event_recorders[rank] if event_recorders else None,
+            )
+            if config.lifelines > 0:
+                from repro.lifeline.worker import LifelineWorker
+
+                self.workers.append(
+                    LifelineWorker(
+                        lifeline_count=config.lifelines,
+                        lifeline_threshold=config.lifeline_threshold,
+                        **worker_kwargs,
+                    )
+                )
+            else:
+                self.workers.append(Worker(**worker_kwargs))
+
+    # ------------------------------------------------------------------
+    # Transport interface (used by workers)
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: object, when: float) -> None:
+        if self._finishing:
+            self.messages_dropped += 1
+            return
+        wire = self._latency_value(src, dst)
+        if (
+            getattr(payload, "tag", None) == TAG_STEAL_RESPONSE
+            and payload.chunks is not None
+        ):
+            wire += payload.nodes * self._transfer_time_per_node
+        arrival = when + wire
+        rs = self._rank_seq
+        seq = rs.get(src, 0)
+        rs[src] = seq + 1
+        entry = (arrival, src, seq, EVT_MSG, dst, payload)
+        if self.lo <= dst < self.hi:
+            if arrival < self.now:
+                raise SimulationError(
+                    f"event scheduled at {arrival} before current time "
+                    f"{self.now}"
+                )
+            heapq.heappush(self._heap, entry)
+        else:
+            self._outbox[bisect_right(self.bounds, dst) - 1].append(entry)
+
+    def schedule_exec(self, rank: int, when: float) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"event scheduled at {when} before current time {self.now}"
+            )
+        rs = self._rank_seq
+        seq = rs.get(rank, 0)
+        rs[rank] = seq + 1
+        heapq.heappush(self._heap, (when, rank, seq, EVT_EXEC, rank, None))
+
+    def rank_became_idle(self, rank: int, when: float) -> None:
+        self._dispatch_token_action(rank, self.detector.rank_idle(rank), when)
+
+    def work_sent(self, rank: int) -> None:
+        self.detector.work_sent(rank)
+
+    def nodes_executed(self, n: int) -> None:
+        self.nodes_total += n
+        if self.nodes_total > self._node_budget:
+            raise SimulationError(
+                f"run exceeded node cap {self._node_budget}"
+            )
+
+    def local_time(self, rank: int, true_time: float) -> float:
+        return self.clock.local_time(rank, true_time)
+
+    # ------------------------------------------------------------------
+    # Coordinator interface
+    # ------------------------------------------------------------------
+
+    def start_workers(self) -> None:
+        for worker in self.workers:
+            worker.start(0.0)
+
+    def absorb(self, entries: list) -> None:
+        heap = self._heap
+        push = heapq.heappush
+        for entry in entries:
+            push(heap, entry)
+
+    def take_outboxes(self) -> list[tuple[int, list]]:
+        out = []
+        for target, box in enumerate(self._outbox):
+            if box:
+                out.append((target, box))
+                self._outbox[target] = []
+        return out
+
+    def head_key(self) -> tuple[float, int, int] | None:
+        if not self._heap:
+            return None
+        head = self._heap[0]
+        return (head[0], head[1], head[2])
+
+    def head_is_candidate(self) -> bool:
+        """Whether the head event could trigger global termination.
+
+        Only meaningful on shard 0: a token arriving at rank 0, or an
+        EXEC at rank 0 whose stack is empty at event start (serving
+        pending steals can never empty a non-empty stack — thieves only
+        take whole bottom chunks, the private top chunk stays — so
+        head-time emptiness equals idle-decision emptiness).
+        """
+        head = self._heap[0]
+        if head[4] != 0:
+            return False
+        if head[3] == EVT_EXEC:
+            return not self.workers[0].stack._chunks
+        return getattr(head[5], "tag", None) == TAG_TOKEN
+
+    def process_one(self) -> None:
+        """Pop and dispatch exactly the head event (the candidate path)."""
+        self._dispatch(heapq.heappop(self._heap))
+
+    def process_window(
+        self,
+        horizon: float,
+        key_cap: tuple[float, int, int] | None = None,
+        stop_candidates: bool = False,
+    ) -> tuple[float, int, int] | None:
+        """Process local events with ``time < horizon`` in key order.
+
+        ``key_cap`` additionally stops at the first event with key >=
+        cap (the candidate key reported by shard 0).  With
+        ``stop_candidates`` (shard 0), stops *before* a candidate and
+        returns its key.  Newly generated local events that fall inside
+        the window are picked up in the same pass.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        workers = self.workers
+        lo = self.lo
+        detector = self.detector
+        event_recorders = self.event_recorders
+        max_events = self._max_events
+        processed = self.processed
+        try:
+            while heap:
+                head = heap[0]
+                t = head[0]
+                if t >= horizon:
+                    break
+                if key_cap is not None and (
+                    (t, head[1], head[2]) >= key_cap
+                ):
+                    break
+                kind = head[3]
+                rank = head[4]
+                if stop_candidates and rank == 0:
+                    if (
+                        kind == EVT_EXEC
+                        and not workers[0].stack._chunks
+                    ) or (
+                        kind == EVT_MSG
+                        and getattr(head[5], "tag", None) == TAG_TOKEN
+                    ):
+                        return (t, head[1], head[2])
+                pop(heap)
+                self.now = t
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events "
+                        "(livelock or runaway configuration?)"
+                    )
+                payload = head[5]
+                if kind == EVT_EXEC:
+                    workers[rank - lo].on_exec(t)
+                elif payload.tag == TAG_TOKEN:
+                    worker = workers[rank - lo]
+                    if event_recorders is not None:
+                        event_recorders[rank].append(
+                            t, EV_TOKEN, payload.color
+                        )
+                    action = detector.token_arrived(
+                        rank,
+                        payload.color,
+                        worker.status is WorkerStatus.WAITING,
+                    )
+                    self._dispatch_token_action(rank, action, t)
+                else:
+                    workers[rank - lo].on_message(t, payload)
+        finally:
+            self.processed = processed
+        return None
+
+    def _dispatch(self, entry) -> None:
+        """Deliver one popped event (the non-inlined single-event path)."""
+        t = entry[0]
+        kind = entry[3]
+        rank = entry[4]
+        payload = entry[5]
+        self.now = t
+        self.processed += 1
+        if self.processed > self._max_events:
+            raise SimulationError(
+                f"simulation exceeded {self._max_events} events "
+                "(livelock or runaway configuration?)"
+            )
+        if kind == EVT_EXEC:
+            self.workers[rank - self.lo].on_exec(t)
+        elif payload.tag == TAG_TOKEN:
+            worker = self.workers[rank - self.lo]
+            if self.event_recorders is not None:
+                self.event_recorders[rank].append(t, EV_TOKEN, payload.color)
+            action = self.detector.token_arrived(
+                rank, payload.color, worker.status is WorkerStatus.WAITING
+            )
+            self._dispatch_token_action(rank, action, t)
+        else:
+            self.workers[rank - self.lo].on_message(t, payload)
+
+    # ------------------------------------------------------------------
+    # Termination plumbing
+    # ------------------------------------------------------------------
+
+    def _dispatch_token_action(
+        self, src: int, action: TokenAction, when: float
+    ) -> None:
+        if action.terminated:
+            if self.index != 0:
+                raise TerminationError(
+                    "termination detected off shard 0 (protocol bug)"
+                )
+            self._local_finish(when)
+        elif action.sends:
+            assert action.send_color is not None and action.send_to is not None
+            self.send(src, action.send_to, Token(action.send_color), when)
+
+    def _local_finish(self, when: float) -> None:
+        """Shard 0 proved termination mid-event: finish locally, flag
+        the coordinator to finish the other shards before they advance.
+
+        Mirrors ``Cluster._broadcast_finish``: every pending event —
+        including messages staged this very event — is dropped, rank 0
+        gets Finish synchronously (uncounted, like the sequential
+        direct call), and Finish events for the other ranks are keyed
+        with pusher 0 continuing its counter, exactly the sequence the
+        sequential engine's pushes produce.
+        """
+        dropped = len(self._heap)
+        self._heap.clear()
+        for box in self._outbox:
+            dropped += len(box)
+            box.clear()
+        self.messages_dropped += dropped
+        self._finishing = True
+        c0 = self._rank_seq.get(0, 0)
+        self.finish_info = (when, c0)
+        self.workers[0].on_message(when, Finish())
+        row0 = self._latency.row(0)
+        for rank in range(max(self.lo, 1), self.hi):
+            heapq.heappush(
+                self._heap,
+                (when + row0[rank], 0, c0 + rank - 1, EVT_MSG, rank, Finish()),
+            )
+        self._rank_seq[0] = c0 + (self.nranks - 1)
+
+    def finish_remote(self, when: float, c0: int) -> None:
+        """Another shard's view of the finish broadcast."""
+        dropped = len(self._heap)
+        self._heap.clear()
+        for box in self._outbox:
+            dropped += len(box)
+            box.clear()
+        self.messages_dropped += dropped
+        self._finishing = True
+        row0 = self._latency.row(0)
+        for rank in range(self.lo, self.hi):
+            heapq.heappush(
+                self._heap,
+                (when + row0[rank], 0, c0 + rank - 1, EVT_MSG, rank, Finish()),
+            )
+
+    # ------------------------------------------------------------------
+    # Post-run
+    # ------------------------------------------------------------------
+
+    def check_done(self) -> None:
+        for worker in self.workers:
+            if worker.status is not WorkerStatus.DONE:
+                raise TerminationError(
+                    f"rank {worker.rank} never received Finish"
+                )
+            if not worker.stack.is_empty:
+                raise TerminationError(
+                    f"rank {worker.rank} terminated holding "
+                    f"{worker.stack.size} nodes"
+                )
+
+    def snapshots(self) -> list[_WorkerSnapshot]:
+        return [_WorkerSnapshot(w) for w in self.workers]
+
+
+class ShardedCluster:
+    """Drop-in for :class:`~repro.sim.cluster.Cluster` running the
+    sharded engine; ``run()`` returns a bit-identical
+    :class:`SimOutcome`."""
+
+    def __init__(self, config: WorkStealingConfig, max_events: int | None = None):
+        if config.nic_service_time > 0:
+            raise ConfigurationError(
+                "sharded engine requires nic_service_time=0 "
+                "(NIC contention is a global order-sensitive queue)"
+            )
+        self.config = config
+        assert not isinstance(config.allocation, str)
+        self.placement = build_placement(
+            config.nranks,
+            config.allocation,
+            latency_model=config.latency_model,
+            topology_factory=config.topology_factory,
+        )
+        nshards = config.shards if config.shards > 0 else auto_shards(config.nranks)
+        self.bounds, self.aligned = shard_bounds(
+            config.nranks, nshards, self.placement.rank_nodes
+        )
+        self.nshards = len(self.bounds) - 1
+        model = config.latency_model
+        self.lookahead = (
+            model.min_remote_latency()
+            if self.aligned
+            else model.min_any_latency()
+        )
+        if self.lookahead <= 0.0:
+            raise ConfigurationError(
+                f"latency model {model.name!r} reports no positive "
+                "lookahead window; the sharded engine needs a lower "
+                "bound > 0 on cross-shard latency "
+                "(implement min_remote_latency/min_any_latency)"
+            )
+        self._max_events = (
+            max_events if max_events is not None else DEFAULT_MAX_EVENTS
+        )
+        if self._max_events < 1:
+            raise SimulationError(
+                f"max_events must be >= 1, got {self._max_events}"
+            )
+        self.clock = ClockSkewModel(
+            config.nranks, std=config.clock_skew_std, seed=config.seed
+        )
+        self.recorders = (
+            [TraceRecorder() for _ in range(config.nranks)]
+            if config.trace
+            else None
+        )
+        self.event_recorders = (
+            [
+                EventRecorder(config.event_trace_capacity)
+                for _ in range(config.nranks)
+            ]
+            if config.event_trace
+            else None
+        )
+        self._nworkers = max(1, min(config.shard_workers, self.nshards))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimOutcome:
+        if self._nworkers > 1:
+            return self._run_multiprocess()
+        return self._run_inprocess()
+
+    # ------------------------------------------------------------------
+    # In-process driver
+    # ------------------------------------------------------------------
+
+    def _run_inprocess(self) -> SimOutcome:
+        config = self.config
+        assert not isinstance(config.rng_backend, str)
+        generator = TreeGenerator(config.tree, config.rng_backend)
+        shards = [
+            _Shard(
+                i,
+                self.bounds,
+                config,
+                self.placement,
+                self.clock,
+                generator,
+                self._max_events,
+                self.recorders,
+                self.event_recorders,
+            )
+            for i in range(self.nshards)
+        ]
+        for shard in shards:  # shard order == rank order
+            shard.start_workers()
+        self._exchange(shards)
+
+        s0 = shards[0]
+        rest = shards[1:]
+        lookahead = self.lookahead
+        max_events = self._max_events
+        node_budget = config.node_cap
+        finished = False
+        while True:
+            gmin = None
+            for shard in shards:
+                key = shard.head_key()
+                if key is not None and (gmin is None or key < gmin):
+                    gmin = key
+            if gmin is None:
+                break
+            if (
+                s0._heap
+                and s0.head_key() == gmin
+                and s0.head_is_candidate()
+            ):
+                s0.process_one()
+                if s0.finish_info is not None and not finished:
+                    finished = True
+                    for shard in rest:
+                        shard.finish_remote(*s0.finish_info)
+                self._exchange(shards)
+                continue
+            horizon = gmin[0] + lookahead
+            k0 = s0.process_window(horizon, stop_candidates=True)
+            for shard in rest:
+                shard.process_window(horizon, key_cap=k0)
+            self._exchange(shards)
+            if sum(s.processed for s in shards) > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events "
+                    "(livelock or runaway configuration?)"
+                )
+            if sum(s.nodes_total for s in shards) > node_budget:
+                raise SimulationError(
+                    f"run exceeded node cap {node_budget}"
+                )
+
+        workers: list[Worker] = []
+        for shard in shards:
+            workers.extend(shard.workers)
+        return self._finalize(
+            workers=workers,
+            events_processed=sum(s.processed for s in shards),
+            messages_dropped=sum(s.messages_dropped for s in shards),
+            probes_started=s0.detector.probes_started,
+            terminated=s0.detector.terminated,
+            recorders=self.recorders,
+            event_recorders=self.event_recorders,
+        )
+
+    @staticmethod
+    def _exchange(shards: list[_Shard]) -> None:
+        push = heapq.heappush
+        for shard in shards:
+            boxes = shard._outbox
+            for target, box in enumerate(boxes):
+                if box:
+                    heap = shards[target]._heap
+                    for entry in box:
+                        push(heap, entry)
+                    box.clear()
+
+    # ------------------------------------------------------------------
+    # Multi-process driver
+    # ------------------------------------------------------------------
+
+    def _run_multiprocess(self) -> SimOutcome:
+        nworkers = self._nworkers
+        nshards = self.nshards
+        # Contiguous shard blocks per child; child 0 always owns shard 0.
+        assignment: list[list[int]] = [[] for _ in range(nworkers)]
+        for s in range(nshards):
+            assignment[(s * nworkers) // nshards].append(s)
+        owner = {}
+        for child, shard_list in enumerate(assignment):
+            for s in shard_list:
+                owner[s] = child
+
+        ctx = multiprocessing.get_context()
+        children = []
+        pipes = []
+        try:
+            for child, shard_list in enumerate(assignment):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        child_conn,
+                        self.config,
+                        self.bounds,
+                        shard_list,
+                        self._max_events,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                children.append(proc)
+                pipes.append(parent_conn)
+
+            inboxes: dict[int, list] = {s: [] for s in range(nshards)}
+
+            def route(out):
+                for target, entries in out:
+                    inboxes[target].extend(entries)
+
+            for conn in pipes:
+                conn.send(("start",))
+            for conn in pipes:
+                reply = conn.recv()
+                _raise_if_error(reply)
+                route(reply["out"])
+
+            finished = False
+            lookahead = self.lookahead
+            while True:
+                heads: dict[int, tuple | None] = {}
+                cand0 = False
+                for child, conn in enumerate(pipes):
+                    batch = {
+                        s: inboxes[s]
+                        for s in assignment[child]
+                        if inboxes[s]
+                    }
+                    for s in batch:
+                        inboxes[s] = []
+                    conn.send(("absorb", batch))
+                for child, conn in enumerate(pipes):
+                    reply = conn.recv()
+                    _raise_if_error(reply)
+                    heads.update(reply["heads"])
+                    if child == 0:
+                        cand0 = reply["cand"]
+                keys = [k for k in heads.values() if k is not None]
+                if not keys:
+                    break
+                gmin = min(keys)
+                total_processed = 0
+                total_nodes = 0
+                if cand0 and heads[0] == gmin:
+                    pipes[0].send(("one",))
+                    reply = pipes[0].recv()
+                    _raise_if_error(reply)
+                    route(reply["out"])
+                    if reply["finish"] is not None and not finished:
+                        finished = True
+                        for child in range(1, nworkers):
+                            pipes[child].send(("finish", *reply["finish"]))
+                        for child in range(1, nworkers):
+                            fin = pipes[child].recv()
+                            _raise_if_error(fin)
+                        # Staged messages everywhere are dropped by the
+                        # children; clear the in-flight inboxes too.
+                        # (They are empty by protocol: every inbox was
+                        # absorbed at round start and "one" only stages
+                        # into shard 0's own outbox, which local_finish
+                        # already dropped — but stay defensive.)
+                        for s in inboxes:
+                            inboxes[s] = []
+                    continue
+                horizon = gmin[0] + lookahead
+                pipes[0].send(("window0", horizon))
+                reply = pipes[0].recv()
+                _raise_if_error(reply)
+                k0 = reply["k0"]
+                route(reply["out"])
+                for conn in pipes:
+                    conn.send(("window", horizon, k0))
+                for conn in pipes:
+                    reply = conn.recv()
+                    _raise_if_error(reply)
+                    route(reply["out"])
+                    total_processed += reply["processed"]
+                    total_nodes += reply["nodes"]
+                if total_processed > self._max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {self._max_events} events "
+                        "(livelock or runaway configuration?)"
+                    )
+                if total_nodes > self.config.node_cap:
+                    raise SimulationError(
+                        f"run exceeded node cap {self.config.node_cap}"
+                    )
+
+            for conn in pipes:
+                conn.send(("done",))
+            finals = []
+            for conn in pipes:
+                reply = conn.recv()
+                _raise_if_error(reply)
+                finals.append(reply)
+            for proc in children:
+                proc.join(timeout=30)
+
+            workers: list[_WorkerSnapshot] = []
+            recorders: list[TraceRecorder] = []
+            event_recorders: list[EventRecorder] = []
+            events_processed = 0
+            messages_dropped = 0
+            probes_started = 0
+            terminated = False
+            for child, final in enumerate(finals):
+                for shard_final in final["shards"]:
+                    workers.extend(shard_final["workers"])
+                    if shard_final["recorders"] is not None:
+                        recorders.extend(shard_final["recorders"])
+                    if shard_final["event_recorders"] is not None:
+                        event_recorders.extend(shard_final["event_recorders"])
+                    events_processed += shard_final["processed"]
+                    messages_dropped += shard_final["dropped"]
+                    if shard_final["index"] == 0:
+                        probes_started = shard_final["probes_started"]
+                        terminated = shard_final["terminated"]
+            return self._finalize(
+                workers=workers,
+                events_processed=events_processed,
+                messages_dropped=messages_dropped,
+                probes_started=probes_started,
+                terminated=terminated,
+                recorders=recorders if self.config.trace else None,
+                event_recorders=(
+                    event_recorders if self.config.event_trace else None
+                ),
+            )
+        finally:
+            for proc in children:
+                if proc.is_alive():
+                    proc.terminate()
+
+    # ------------------------------------------------------------------
+
+    def _finalize(
+        self,
+        workers,
+        events_processed,
+        messages_dropped,
+        probes_started,
+        terminated,
+        recorders,
+        event_recorders,
+    ) -> SimOutcome:
+        if sum(w.nodes_processed for w in workers) > self.config.node_cap:
+            raise SimulationError(
+                f"run exceeded node cap {self.config.node_cap}"
+            )
+        if not terminated:
+            raise TerminationError(
+                "event queue drained before termination was detected"
+            )
+        for worker in workers:
+            if worker.status is not WorkerStatus.DONE:
+                raise TerminationError(
+                    f"rank {worker.rank} never received Finish"
+                )
+            stack_empty = (
+                worker.stack.is_empty
+                if isinstance(worker, Worker)
+                else worker.stack_empty
+            )
+            if not stack_empty:
+                raise TerminationError(
+                    f"rank {worker.rank} terminated holding nodes"
+                )
+        sent = sum(w.nodes_sent for w in workers)
+        received = sum(w.nodes_received for w in workers)
+        if sent != received:
+            raise TerminationError(
+                f"work lost in flight: {sent} nodes sent but "
+                f"{received} received"
+            )
+        total_time = max(
+            w.finish_time for w in workers if w.finish_time is not None
+        )
+        return SimOutcome(
+            config=self.config,
+            placement=self.placement,
+            workers=workers,
+            recorders=recorders,
+            clock=self.clock,
+            total_time=total_time,
+            events_processed=events_processed,
+            messages_dropped=messages_dropped,
+            probes_started=probes_started,
+            event_recorders=event_recorders,
+        )
+
+
+# ----------------------------------------------------------------------
+# Child-process side of shard_workers > 1
+# ----------------------------------------------------------------------
+
+
+def _raise_if_error(reply) -> None:
+    if isinstance(reply, dict) and "error" in reply:
+        exc_type, message = reply["error"]
+        raise exc_type(f"shard worker failed: {message}")
+
+
+def _shard_worker_main(
+    conn, config: WorkStealingConfig, bounds, shard_indices, max_events
+) -> None:
+    """Command loop of one shard-hosting process.
+
+    Rebuilds placement, clock and tree generator deterministically from
+    the config (nothing simulation-relevant crosses the pipe except
+    staged event entries), then serves the coordinator's barrier
+    protocol until ``done``.
+    """
+    try:
+        placement = build_placement(
+            config.nranks,
+            config.allocation,
+            latency_model=config.latency_model,
+            topology_factory=config.topology_factory,
+        )
+        clock = ClockSkewModel(
+            config.nranks, std=config.clock_skew_std, seed=config.seed
+        )
+        generator = TreeGenerator(config.tree, config.rng_backend)
+        recorders = (
+            [TraceRecorder() for _ in range(config.nranks)]
+            if config.trace
+            else None
+        )
+        event_recorders = (
+            [
+                EventRecorder(config.event_trace_capacity)
+                for _ in range(config.nranks)
+            ]
+            if config.event_trace
+            else None
+        )
+        shards = {
+            i: _Shard(
+                i,
+                list(bounds),
+                config,
+                placement,
+                clock,
+                generator,
+                max_events,
+                recorders,
+                event_recorders,
+            )
+            for i in shard_indices
+        }
+        has_zero = 0 in shards
+
+        def status(extra=None):
+            out = []
+            for shard in shards.values():
+                out.extend(shard.take_outboxes())
+            reply = {
+                "heads": {i: s.head_key() for i, s in shards.items()},
+                "cand": bool(
+                    has_zero
+                    and shards[0]._heap
+                    and shards[0].head_is_candidate()
+                ),
+                "out": out,
+                "finish": shards[0].finish_info if has_zero else None,
+                "processed": sum(s.processed for s in shards.values()),
+                "nodes": sum(s.nodes_total for s in shards.values()),
+            }
+            if extra:
+                reply.update(extra)
+            return reply
+
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "start":
+                for i in sorted(shards):
+                    shards[i].start_workers()
+                conn.send(status())
+            elif op == "absorb":
+                for i, entries in command[1].items():
+                    shards[i].absorb(entries)
+                conn.send(status())
+            elif op == "one":
+                shards[0].process_one()
+                if shards[0].finish_info is not None:
+                    when, c0 = shards[0].finish_info
+                    for i, shard in shards.items():
+                        if i != 0 and not shard._finishing:
+                            shard.finish_remote(when, c0)
+                conn.send(status())
+            elif op == "window0":
+                k0 = shards[0].process_window(
+                    command[1], stop_candidates=True
+                )
+                conn.send(status({"k0": k0}))
+            elif op == "window":
+                horizon, k0 = command[1], command[2]
+                for i in sorted(shards):
+                    if i == 0:
+                        continue  # shard 0 ran in window0
+                    shards[i].process_window(horizon, key_cap=k0)
+                conn.send(status())
+            elif op == "finish":
+                when, c0 = command[1], command[2]
+                for shard in shards.values():
+                    if not shard._finishing:
+                        shard.finish_remote(when, c0)
+                conn.send(status())
+            elif op == "done":
+                final = {"shards": []}
+                for i in sorted(shards):
+                    shard = shards[i]
+                    shard.check_done()
+                    final["shards"].append(
+                        {
+                            "index": i,
+                            "workers": shard.snapshots(),
+                            "recorders": (
+                                recorders[shard.lo : shard.hi]
+                                if recorders is not None
+                                else None
+                            ),
+                            "event_recorders": (
+                                event_recorders[shard.lo : shard.hi]
+                                if event_recorders is not None
+                                else None
+                            ),
+                            "processed": shard.processed,
+                            "dropped": shard.messages_dropped,
+                            "probes_started": shard.detector.probes_started,
+                            "terminated": shard.detector.terminated,
+                        }
+                    )
+                conn.send(final)
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send({"error": (SimulationError, f"bad op {op!r}")})
+                return
+    except Exception as exc:  # pragma: no cover - shipped to parent
+        try:
+            conn.send({"error": (type(exc), str(exc))})
+        except Exception:
+            pass

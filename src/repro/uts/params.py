@@ -44,6 +44,7 @@ __all__ = [
     "T3M",
     "T3L",
     "T3XL",
+    "T3H",
     "GEO_S",
     "GEO_M",
     "GEO_L",
@@ -226,6 +227,19 @@ T3XL = TreeParams(
     expected_size=1_280_001,
 )
 
+#: Huge tree for the sharded-engine band (4096+ ranks): ~2.56e7 nodes
+#: expected, ~6e3 nodes per rank at 4096 — the work-per-rank regime the
+#: 512-rank rungs could not reach (EXPERIMENTS.md "validity boundary").
+T3H = TreeParams(
+    name="T3H",
+    tree_type="binomial",
+    root_seed=559,
+    b0=8000,
+    m=2,
+    q=0.49984375,
+    expected_size=25_600_001,
+)
+
 #: Small geometric tree (UTS "GEO" family), linear shape.
 GEO_S = TreeParams(
     name="GEO_S",
@@ -275,7 +289,20 @@ HYB_S = TreeParams(
 #: Registry of all named trees.
 TREES: dict[str, TreeParams] = {
     t.name: t
-    for t in (T3XXL, T3WL, T3XS, T3S, T3M, T3L, T3XL, GEO_S, GEO_M, GEO_L, HYB_S)
+    for t in (
+        T3XXL,
+        T3WL,
+        T3XS,
+        T3S,
+        T3M,
+        T3L,
+        T3XL,
+        T3H,
+        GEO_S,
+        GEO_M,
+        GEO_L,
+        HYB_S,
+    )
 }
 
 

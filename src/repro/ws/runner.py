@@ -82,5 +82,12 @@ def run_uts(
         raise TypeError(
             "pass either a config object or keyword fields, not both"
         )
-    outcome = Cluster(config, max_events=max_events).run()
+    if config.engine == "sharded":
+        # Deferred import: repro.sim.shard imports from repro.ws-adjacent
+        # modules and is only needed when the sharded engine is chosen.
+        from repro.sim.shard import ShardedCluster
+
+        outcome = ShardedCluster(config, max_events=max_events).run()
+    else:
+        outcome = Cluster(config, max_events=max_events).run()
     return RunResult.from_outcome(outcome, baseline_time=baseline_time)

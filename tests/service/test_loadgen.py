@@ -26,6 +26,16 @@ class TestLoadgen:
         assert results["submitted"] == results["sweeps"]
         assert 0.0 <= results["hit_rate"] <= 1.0
         assert results["latency_p99_ms"] >= results["latency_p50_ms"] >= 0
+        # Cold/warm split: every sweep lands in exactly one population,
+        # and cold requests (real executions) dominate warm ones (store
+        # hits) in latency.
+        cold, warm = results["latency_cold"], results["latency_warm"]
+        assert cold["count"] + warm["count"] == results["sweeps"]
+        assert cold["count"] > 0  # a fresh store must execute something
+        for dist in (cold, warm):
+            assert dist["max_ms"] >= dist["p99_ms"] >= dist["p50_ms"] >= 0
+        if warm["count"]:
+            assert cold["p50_ms"] >= warm["p50_ms"]
 
     def test_cli_emits_bench_json_and_gates(self, tmp_path, capsys):
         out = tmp_path / "bench.json"

@@ -1,0 +1,210 @@
+"""Differential suite: sharded engine vs sequential, bit for bit.
+
+The sharded engine's contract (`repro.sim.shard`) is not statistical
+equivalence but *bit-identity*: same SimOutcome metrics, same per-rank
+worker counters, same canonical trace bytes, for every configuration
+the sequential engine accepts (minus NIC contention, rejected at
+config time).  These tests enforce that across the full selector and
+steal-policy registries, shard counts 1-8, aligned and non-aligned
+allocations, and both the in-process and multi-process drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import WorkStealingConfig
+from repro.errors import ConfigurationError
+from repro.net.latency import UniformLatency
+from repro.sim.cluster import Cluster
+from repro.sim.shard import ShardedCluster, auto_shards, shard_bounds
+from repro.uts.params import T3XS
+from repro.ws import run_uts
+from repro.ws.results import RunResult
+
+SELECTORS = [
+    "reference",
+    "rand",
+    "tofu",
+    "hierarchical",
+    "lastvictim",
+    "skew[1.5]",
+    "hier[0.7]",
+    "latskew[1.0]",
+]
+POLICIES = ["one", "half", "frac[0.3]"]
+
+
+def _config(**kw) -> WorkStealingConfig:
+    kw.setdefault("tree", T3XS)
+    kw.setdefault("nranks", 16)
+    kw.setdefault("event_trace", True)
+    return WorkStealingConfig(**kw)
+
+
+_SEQ_CACHE: dict = {}
+
+
+def _sequential(cfg: WorkStealingConfig) -> RunResult:
+    key = (cfg.fingerprint(), cfg.trace, cfg.event_trace)
+    if key not in _SEQ_CACHE:
+        _SEQ_CACHE[key] = RunResult.from_outcome(Cluster(cfg).run())
+    return _SEQ_CACHE[key]
+
+
+def assert_identical(cfg: WorkStealingConfig, shards: int, workers: int = 1):
+    """Run both engines and compare every observable, bit for bit."""
+    seq = _sequential(cfg)
+    sharded_cfg = replace(
+        cfg, engine="sharded", shards=shards, shard_workers=workers
+    )
+    sh = RunResult.from_outcome(ShardedCluster(sharded_cfg).run())
+    assert seq.to_dict() == sh.to_dict()
+    if seq.events is not None:
+        assert seq.events.canonical_bytes() == sh.events.canonical_bytes()
+    if seq.trace is not None:
+        assert sh.trace is not None
+        for (ta, sa), (tb, sb) in zip(
+            seq.trace.transitions, sh.trace.transitions
+        ):
+            assert np.array_equal(ta, tb)
+            assert np.array_equal(sa, sb)
+
+
+class TestPartition:
+    def test_auto_shards_scales_with_ranks(self):
+        assert auto_shards(16) == 1
+        assert auto_shards(1024) == 2
+        assert auto_shards(4096) == 8
+        assert auto_shards(1 << 20) == 16
+
+    def test_bounds_cover_contiguously(self):
+        bounds, aligned = shard_bounds(16, 4, np.arange(16))
+        assert bounds == [0, 4, 8, 12, 16]
+        assert aligned
+
+    def test_bounds_snap_to_node_boundaries(self):
+        # 3 ranks per node: ideal cut 8 falls inside a node -> snaps to 6.
+        rank_nodes = np.repeat(np.arange(6), 3)[:16]
+        bounds, aligned = shard_bounds(16, 2, rank_nodes)
+        assert aligned
+        cut = bounds[1]
+        assert rank_nodes[cut] != rank_nodes[cut - 1]
+
+    def test_interleaved_nodes_are_not_aligned(self):
+        # Round-robin [0,1,0,1,...]: every adjacent pair changes node,
+        # yet every node spans every shard — must NOT count as aligned
+        # (the wide lookahead window would be unsound).
+        bounds, aligned = shard_bounds(16, 4, np.array([0, 1] * 8))
+        assert not aligned
+
+    def test_single_node_not_aligned(self):
+        _, aligned = shard_bounds(8, 4, np.zeros(8, dtype=int))
+        assert not aligned
+
+    def test_single_shard_trivially_aligned(self):
+        bounds, aligned = shard_bounds(8, 1, np.zeros(8, dtype=int))
+        assert bounds == [0, 8]
+        assert aligned
+
+
+class TestConfigValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _config(engine="warp")
+
+    def test_sharded_with_nic_contention_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _config(engine="sharded", nic_service_time=1e-7)
+
+    def test_engine_knobs_excluded_from_fingerprint(self):
+        base = _config()
+        assert (
+            base.fingerprint()
+            == replace(base, engine="sharded", shards=4).fingerprint()
+        )
+
+    def test_zero_lookahead_model_rejected(self):
+        class Zero(UniformLatency):
+            def min_remote_latency(self):
+                return 0.0
+
+            def min_any_latency(self):
+                return 0.0
+
+        cfg = _config(latency_model=Zero())
+        with pytest.raises(ConfigurationError, match="lookahead"):
+            ShardedCluster(replace(cfg, engine="sharded", shards=2))
+
+
+class TestDifferentialMatrix:
+    """The core bit-identity guarantee across the strategy registries."""
+
+    @pytest.mark.parametrize("selector", SELECTORS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_selector_policy_matrix(self, selector, policy):
+        assert_identical(
+            _config(selector=selector, steal_policy=policy), shards=2
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_shard_counts(self, shards):
+        assert_identical(_config(), shards=shards)
+
+    @pytest.mark.parametrize("alloc", ["1/N", "8RR", "8G", "4G", "1/N@x4"])
+    def test_allocations_aligned_and_not(self, alloc):
+        assert_identical(_config(allocation=alloc), shards=4)
+
+    def test_lifelines(self):
+        assert_identical(_config(lifelines=2), shards=4)
+
+    def test_clock_skew_and_activity_trace(self):
+        assert_identical(
+            _config(clock_skew_std=1e-7, trace=True), shards=4
+        )
+
+    def test_uniform_latency_model(self):
+        assert_identical(
+            _config(latency_model=UniformLatency(5e-6)), shards=4
+        )
+
+    def test_odd_rank_count(self):
+        assert_identical(_config(nranks=13), shards=4)
+
+    def test_single_rank(self):
+        assert_identical(_config(nranks=1), shards=1)
+
+
+class TestMultiProcess:
+    """Same guarantee when shards are distributed over OS processes."""
+
+    @pytest.mark.parametrize("shards,workers", [(2, 2), (4, 2), (4, 4)])
+    def test_multiprocess_matches_sequential(self, shards, workers):
+        assert_identical(_config(), shards=shards, workers=workers)
+
+    def test_multiprocess_with_traces(self):
+        assert_identical(
+            _config(trace=True, clock_skew_std=1e-7),
+            shards=4,
+            workers=2,
+        )
+
+    def test_multiprocess_lifelines(self):
+        assert_identical(_config(lifelines=2), shards=4, workers=2)
+
+
+class TestRunnerRouting:
+    def test_run_uts_routes_sharded_engine(self):
+        seq = run_uts(tree=T3XS, nranks=16, event_trace=True)
+        sh = run_uts(
+            tree=T3XS,
+            nranks=16,
+            event_trace=True,
+            engine="sharded",
+            shards=4,
+        )
+        assert seq.to_dict() == sh.to_dict()
+        assert seq.events.canonical_bytes() == sh.events.canonical_bytes()

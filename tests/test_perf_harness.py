@@ -7,9 +7,11 @@ from repro.perf import (
     bench_event_throughput,
     bench_placement_scale,
     bench_selector_sampling,
+    bench_sharded_throughput,
     bench_tree_generation,
 )
 from repro.perf.__main__ import main as perf_main
+from repro.perf.sharded import main as sharded_main
 
 
 def test_tree_generation_scenario():
@@ -31,6 +33,28 @@ def test_event_throughput_scenario():
     assert out["events"] > 0
     assert out["nodes"] > 0
     assert out["events_per_sec"] > 0
+
+
+def test_sharded_throughput_scenario():
+    out = bench_sharded_throughput(
+        tree="T3XS", nranks=8, shard_counts=(1, 2), trials=1
+    )
+    assert out["sequential"]["events_per_sec"] > 0
+    for row in out["sharded"]:
+        # The interleaved baseline ran the identical job.
+        assert row["events"] == out["sequential"]["events"]
+        assert row["nodes"] == out["sequential"]["nodes"]
+        assert row["speedup_vs_sequential"] > 0
+
+
+def test_sharded_cli_quick_writes_bench4(tmp_path):
+    out_path = tmp_path / "bench4.json"
+    rc = sharded_main(["--quick", "--out", str(out_path)])
+    assert rc == 0
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro-perf-sharded-v1"
+    assert report["headline"]["speedup"] > 0
+    assert report["results"][0]["sharded"]
 
 
 def test_placement_scale_scenario_stays_lazy():

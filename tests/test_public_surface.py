@@ -1,18 +1,14 @@
 """The package facade is the stable public surface.
 
 ``repro/__init__.py`` is the contract: everything the README's
-quickstart imports must be there, ``__all__`` must be importable and
-exact, and renamed keywords must keep working behind deprecation
-shims (warnings, not breaks).
+quickstart imports must be there, and ``__all__`` must be importable
+and exact.
 """
 
 from __future__ import annotations
 
 import re
-import warnings
 from pathlib import Path
-
-import pytest
 
 import repro
 
@@ -62,15 +58,3 @@ class TestPublicSurface:
             assert getattr(service, name, None) is not None, name
 
 
-class TestDeprecationShims:
-    def test_run_many_cache_kwarg_warns_but_works(self, tmp_path):
-        config = repro.WorkStealingConfig(tree=repro.T3XS, nranks=4, seed=0)
-        with pytest.warns(DeprecationWarning, match="store="):
-            results = repro.run_many([config], cache=str(tmp_path))
-        assert results[0].label == config.label()
-        # The deprecated spelling still hit the store: a second call
-        # through the canonical keyword reads the entry back.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # no warning on the new path
-            again = repro.run_many([config], store=str(tmp_path))
-        assert again[0].to_json() == results[0].to_json()

@@ -86,7 +86,10 @@ def test_fingerprint_invariant_under_trace_flags():
             assert cfg.fingerprint() == base.fingerprint()
 
 
-def test_excluded_fields_are_the_trace_knobs():
+def test_excluded_fields_are_the_observationally_inert_knobs():
+    # Trace knobs only add data; engine knobs are bit-identical by the
+    # differential suite (tests/sim/test_sharded.py).  Neither may
+    # change what a fingerprint caches.
     assert FINGERPRINT_EXCLUDED_FIELDS == frozenset(
-        {"event_trace", "event_trace_capacity"}
+        {"event_trace", "event_trace_capacity", "engine", "shards", "shard_workers"}
     )
