@@ -1,0 +1,107 @@
+"""Extension: adaptive victim selection judged by the scenario tournament.
+
+ROADMAP item 2 / ISSUE 8 acceptance rung: on the paper-calibrated
+T3L/tofu-cluster preset (64 ranks, hierarchical latency, NIC cost) the
+feedback-driven selectors (:mod:`repro.select`) must *beat* uniform
+random on makespan — asserted, not eyeballed.  The tournament preset
+sweeps every adaptive family against the static baselines under both
+the steal-one policy and the adaptive escalation policy; the recorded
+leaderboard artifact feeds EXPERIMENTS.md "Adaptive selection".
+
+Measured facts this rung pins (deterministic, so exact on rerun):
+
+* best adaptive selector under steal-one beats ``rand``/one;
+* the overall winner combines an adaptive selector with the adaptive
+  steal policy (``adapt-eps[0.1]`` + ``adaptive[3]``);
+* steal-amount escalation alone helps: ``rand``+``adaptive[3]``
+  beats ``rand``+one.
+
+The full-registry sweep (60 configs on T3M) is a slow rung, gated like
+the 4096-rank run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.report import format_table, save_artifact
+from repro.tournament import PRESETS, run_tournament
+
+ADAPTIVE = ("adapt-eps[0.1]", "adapt-sr[0.9]", "adapt-backoff[2]")
+
+
+def _leaderboard_artifact(tournament):
+    return {
+        "spec": tournament.spec.name,
+        "rows": tournament.rows,
+    }
+
+
+def test_adaptive_beats_rand_on_t3l(once):
+    tournament = once(
+        lambda: run_tournament(PRESETS["adaptive"], jobs=None)
+    )
+    rows = tournament.rows
+    print("== Adaptive tournament: T3L x64, calibrated ==")
+    print(
+        format_table(
+            ["selector", "policy", "makespan", "success", "failed"],
+            [
+                [
+                    r["selector"],
+                    r["steal_policy"],
+                    r["makespan"],
+                    r["steal_success_rate"],
+                    r["failed_steals"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    save_artifact("extension_adaptive_tournament", _leaderboard_artifact(tournament))
+
+    def makespan(selector, policy):
+        return tournament.row_for(selector, policy)["makespan"]
+
+    # THE acceptance assertion (ISSUE 8): at least one adaptive
+    # selector beats uniform random on makespan, like for like
+    # (steal-one on both sides).
+    best_adaptive_one = min(makespan(s, "one") for s in ADAPTIVE)
+    assert best_adaptive_one < makespan("rand", "one")
+
+    # The overall winner pairs an adaptive selector with adaptive
+    # steal amounts.
+    assert tournament.winner["selector"] in ADAPTIVE
+    assert tournament.winner["steal_policy"] == "adaptive[3]"
+
+    # Escalation helps even with a static selector: fewer failed
+    # chains once starving thieves ask for half.
+    assert makespan("rand", "adaptive[3]") < makespan("rand", "one")
+
+    # Feedback shows up in the mechanism, not just the makespan: the
+    # winner wastes fewer steal attempts than rand under the same
+    # policy.
+    winner = tournament.winner
+    rand_row = tournament.row_for("rand", winner["steal_policy"])
+    assert winner["steal_success_rate"] > rand_row["steal_success_rate"]
+    assert winner["failed_steals"] < rand_row["failed_steals"]
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_EXTENDED"),
+    reason="full-registry sweep; set REPRO_EXTENDED=1 to enable",
+)
+def test_full_registry_tournament(once):
+    spec = PRESETS["full"]
+    tournament = once(lambda: run_tournament(spec, jobs=None))
+    assert len(tournament.rows) == len(spec.configs())
+    labels = [r["label"] for r in tournament.rows]
+    assert len(set(labels)) == len(labels)
+    spans = [r["makespan"] for r in tournament.rows]
+    assert spans == sorted(spans)
+    save_artifact(
+        "extension_full_tournament", _leaderboard_artifact(tournament)
+    )

@@ -65,6 +65,12 @@ from repro.uts.params import (
 from repro.ws.results import RunResult
 from repro.ws.runner import run_uts, sequential_baseline
 
+# Side-effect import: registers the adaptive selector/steal-policy
+# family ("adapt-eps", "adapt-sr", "adapt-backoff", "adaptive") beside
+# the static strategies, so their config strings resolve in every
+# process that imports repro — including exec worker processes.
+import repro.select  # noqa: E402,F401
+
 # Imported last: repro.exec / repro.service read repro._version and the
 # registries the imports above populate.
 from repro.exec import ResultCache, RunProgress, run_many  # noqa: E402

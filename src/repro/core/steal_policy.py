@@ -42,6 +42,17 @@ class StealPolicy(ABC):
         Must return a value in ``[0, stealable]``.
         """
 
+    def chunks_for_request(self, stealable: int, escalated: bool = False) -> int:
+        """Amount for one concrete request; ``escalated`` marks a thief
+        that has been failing repeatedly (or a starving lifeline waiter).
+
+        Static policies ignore the flag; adaptive policies
+        (:class:`repro.select.adaptive.AdaptiveStealPolicy`) escalate.
+        Policies must stay stateless here — one policy object is shared
+        by every worker in a process.
+        """
+        return self.chunks_to_steal(stealable)
+
     def _check(self, stealable: int) -> None:
         if stealable < 0:
             raise ConfigurationError(f"stealable must be >= 0, got {stealable}")

@@ -370,7 +370,15 @@ class _LastVictimState(VictimSelector):
         return self._uniform.next_victim()
 
     def notify(self, victim: int, success: bool) -> None:
-        self._sticky = victim if success else None
+        # notify() must tolerate arbitrary victims (lifeline pushes
+        # report ranks the selector never drew); only a valid *other*
+        # rank may become the sticky target.
+        if success and 0 <= victim < self._uniform._nranks and (
+            victim != self._uniform._rank
+        ):
+            self._sticky = victim
+        else:
+            self._sticky = None
 
 
 class LastVictimSelector(SelectorFactory):

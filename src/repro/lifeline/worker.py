@@ -36,7 +36,6 @@ from repro.trace.events import (
     EV_LIFELINE_QUIESCE,
     EV_LIFELINE_WAKE,
     EV_PUSH_RECV,
-    EV_STEAL_FAIL,
 )
 
 __all__ = ["lifeline_partners", "LifelineWorker"]
@@ -67,7 +66,6 @@ class LifelineWorker(Worker):
     __slots__ = (
         "lifeline_threshold",
         "partners",
-        "_consecutive_failures",
         "_quiescent",
         "_armed",
         "waiters",
@@ -86,7 +84,6 @@ class LifelineWorker(Worker):
         super().__init__(*args, **kwargs)
         self.lifeline_threshold = lifeline_threshold
         self.partners = lifeline_partners(self.rank, self.nranks, lifeline_count)
-        self._consecutive_failures = 0
         self._quiescent = False
         self._armed = False
         #: Ranks whose lifeline to us is currently armed.
@@ -132,7 +129,6 @@ class LifelineWorker(Worker):
 
     def _on_response(self, now: float, msg: StealResponse) -> None:
         if msg.has_work:
-            self._consecutive_failures = 0
             if self._armed:
                 self._disarm(now)
                 self.lifeline_wakeups += 1
@@ -140,13 +136,11 @@ class LifelineWorker(Worker):
                     self.events.append(now, EV_LIFELINE_WAKE, msg.victim)
             super()._on_response(now, msg)
             return
-        self.failed_steals += 1
-        if self.events is not None:
-            self.events.append(now, EV_STEAL_FAIL, msg.victim)
-        if self.selector is not None:
-            self.selector.notify(msg.victim, success=False)
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.lifeline_threshold:
+        # Shares the base worker's failure accounting (counter, trace
+        # event, selector notify); only the spin-vs-quiesce decision is
+        # lifeline-specific.
+        self._steal_failed(now, msg.victim)
+        if self.consecutive_failed_steals >= self.lifeline_threshold:
             if not self._quiescent:
                 self._quiesce(now)
             # Quiescent: no further requests; wait for a push or Finish.
@@ -167,15 +161,11 @@ class LifelineWorker(Worker):
     def _disarm(self, now: float) -> None:
         self._armed = False
         self._quiescent = False
-        self._consecutive_failures = 0
+        self.consecutive_failed_steals = 0
         for partner in self.partners:
             self.transport.send(
                 self.rank, partner, LifelineDeregister(self.rank), now
             )
-
-    def _go_idle(self, t: float) -> None:
-        self._consecutive_failures = 0
-        super()._go_idle(t)
 
     # ------------------------------------------------------------------
     # Pushing work to armed lifelines
@@ -185,7 +175,11 @@ class LifelineWorker(Worker):
         t = super()._serve_pending(now)
         while self.waiters and self.stack.stealable_chunks > 0:
             thief = self.waiters.pop(0)
-            take = self.policy.chunks_to_steal(self.stack.stealable_chunks)
+            # A quiesced waiter is starving by definition: grant it the
+            # escalated amount (a no-op for static policies).
+            take = self.policy.chunks_for_request(
+                self.stack.stealable_chunks, escalated=True
+            )
             if take == 0:
                 break
             t += self.steal_service_time

@@ -1,0 +1,29 @@
+"""Feedback-driven (adaptive) victim selection.
+
+The static registry (``reference``/``rand``/``tofu``/...) fixes its
+victim distribution before the run starts; this package adds selectors
+that *learn during the run* from the ``notify(victim, success)``
+feedback stream the workers already emit on every steal outcome
+(ROADMAP item 2; the latency analysis of Gast/Khatiri/Trystram is the
+motivation — failed-steal chains under latency are the signal worth
+adapting on).
+
+Importing this package registers the family beside the static
+selectors; ``repro/__init__.py`` does so unconditionally, so the names
+resolve everywhere a config string does — including ``repro.exec``
+worker processes.
+"""
+
+from repro.select.adaptive import (
+    AdaptiveStealPolicy,
+    EpsilonGreedySelector,
+    FailureBackoffSelector,
+    SuccessRateSelector,
+)
+
+__all__ = [
+    "AdaptiveStealPolicy",
+    "EpsilonGreedySelector",
+    "FailureBackoffSelector",
+    "SuccessRateSelector",
+]

@@ -52,17 +52,27 @@ TAG_LIFELINE_DEREGISTER = 5
 
 
 class StealRequest:
-    """A steal attempt posted by ``thief``."""
+    """A steal attempt posted by ``thief``.
+
+    ``escalated`` is thief-side state carried to the victim: after K
+    consecutive failed steals an adaptive steal policy
+    (:class:`repro.select.adaptive.AdaptiveStealPolicy`) asks for a
+    larger transfer.  Keeping the flag on the message — instead of
+    state on the shared policy object — is what keeps the policy
+    stateless and the engines bit-identical across shard layouts.
+    """
 
     tag = TAG_STEAL_REQUEST
 
-    __slots__ = ("thief",)
+    __slots__ = ("thief", "escalated")
 
-    def __init__(self, thief: int):
+    def __init__(self, thief: int, escalated: bool = False):
         self.thief = thief
+        self.escalated = escalated
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"StealRequest(thief={self.thief})"
+        esc = ", escalated" if self.escalated else ""
+        return f"StealRequest(thief={self.thief}{esc})"
 
 
 class StealResponse:

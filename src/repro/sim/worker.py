@@ -100,6 +100,8 @@ class Worker:
         "events",
         "nodes_processed",
         "steal_requests_sent",
+        "consecutive_failed_steals",
+        "_escalate_after",
         "failed_steals",
         "successful_steals",
         "requests_served",
@@ -163,6 +165,11 @@ class Worker:
         self.nodes_processed = 0
         self.steal_requests_sent = 0
         self.failed_steals = 0
+        # Thief-side failure streak, reset on success or on regaining
+        # work.  Drives steal-amount escalation when the (stateless,
+        # process-shared) policy advertises an ``escalate_after``.
+        self.consecutive_failed_steals = 0
+        self._escalate_after = getattr(policy, "escalate_after", None)
         self.successful_steals = 0
         self.requests_served = 0
         self.requests_denied = 0
@@ -286,7 +293,11 @@ class Worker:
         ev = self.events
         for req in self.pending:
             stealable = self.stack.stealable_chunks
-            take = self.policy.chunks_to_steal(stealable) if stealable else 0
+            take = (
+                self.policy.chunks_for_request(stealable, req.escalated)
+                if stealable
+                else 0
+            )
             if take > 0:
                 # Packaging work costs the victim compute time.
                 t += self.steal_service_time
@@ -346,6 +357,7 @@ class Worker:
         # trace stays empty until they first receive work.
         if self._was_active():
             self._record(t, active=False)
+        self.consecutive_failed_steals = 0
         self.status = WorkerStatus.WAITING
         self._session_start = t
         self._session_attempts = 0
@@ -364,11 +376,17 @@ class Worker:
         victim = self.selector.next_victim()
         self.steal_requests_sent += 1
         self._session_attempts += 1
+        escalated = (
+            self._escalate_after is not None
+            and self.consecutive_failed_steals >= self._escalate_after
+        )
         ev = self.events
         if ev is not None:
             ev.append(t, EV_VICTIM_DRAW, victim, self._session_attempts)
-            ev.append(t, EV_STEAL_SENT, victim)
-        self.transport.send(self.rank, victim, StealRequest(self.rank), t)
+            ev.append(t, EV_STEAL_SENT, victim, int(escalated))
+        self.transport.send(
+            self.rank, victim, StealRequest(self.rank, escalated), t
+        )
 
     def _on_response(self, now: float, msg: StealResponse) -> None:
         if self.status is not WorkerStatus.WAITING:
@@ -385,17 +403,30 @@ class Worker:
                 self.events.append(now, EV_STEAL_OK, msg.victim, received)
             if self.selector is not None:
                 self.selector.notify(msg.victim, success=True)
+            self.consecutive_failed_steals = 0
             self._close_session(now, found_work=True)
             self._record(now, active=True)
             self.status = WorkerStatus.RUNNING
             self.transport.schedule_exec(self.rank, now)
         else:
-            self.failed_steals += 1
-            if self.events is not None:
-                self.events.append(now, EV_STEAL_FAIL, msg.victim)
-            if self.selector is not None:
-                self.selector.notify(msg.victim, success=False)
+            self._steal_failed(now, msg.victim)
             self._send_steal_request(now)
+
+    def _steal_failed(self, now: float, victim: int) -> None:
+        """Single accounting point for every failed-steal reply.
+
+        All failure paths — the plain resend loop and the lifeline
+        quiesce path — must route through here so the counters, the
+        EV_STEAL_FAIL trace stream and the selector's
+        ``notify(success=False)`` feedback can never diverge (the
+        reconciliation test in ``tests/sim`` pins the three together).
+        """
+        self.failed_steals += 1
+        self.consecutive_failed_steals += 1
+        if self.events is not None:
+            self.events.append(now, EV_STEAL_FAIL, victim)
+        if self.selector is not None:
+            self.selector.notify(victim, success=False)
 
     def _on_finish(self, now: float) -> None:
         if self.status is WorkerStatus.RUNNING or not self.stack.is_empty:

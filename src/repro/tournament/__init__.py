@@ -1,0 +1,16 @@
+"""Strategy tournaments over the experiment engine.
+
+``python -m repro.tournament --preset adaptive`` sweeps a named
+selector x steal-policy x allocation grid through :mod:`repro.exec`
+and writes a deterministic leaderboard (JSON + markdown) under
+``benchmarks/_artifacts/``.  See :mod:`repro.tournament.harness`.
+"""
+
+from repro.tournament.harness import (
+    PRESETS,
+    Tournament,
+    TournamentSpec,
+    run_tournament,
+)
+
+__all__ = ["PRESETS", "Tournament", "TournamentSpec", "run_tournament"]

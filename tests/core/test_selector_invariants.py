@@ -31,6 +31,9 @@ _PATTERN_INSTANCES = {
     "skew[<alpha>]": "skew[2]",
     "hier[<p_near>]": "hier[0.75]",
     "latskew[<alpha>]": "latskew[1.5]",
+    "adapt-eps[<eps>]": "adapt-eps[0.25]",
+    "adapt-sr[<decay>]": "adapt-sr[0.8]",
+    "adapt-backoff[<fails>]": "adapt-backoff[3]",
 }
 
 

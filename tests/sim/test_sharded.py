@@ -34,8 +34,13 @@ SELECTORS = [
     "skew[1.5]",
     "hier[0.7]",
     "latskew[1.0]",
+    "adapt-eps[0.2]",
+    "adapt-sr[0.9]",
+    "adapt-backoff[2]",
 ]
-POLICIES = ["one", "half", "frac[0.3]"]
+POLICIES = ["one", "half", "frac[0.3]", "adaptive[2]"]
+
+ADAPTIVE_SELECTORS = ["adapt-eps[0.2]", "adapt-sr[0.9]", "adapt-backoff[2]"]
 
 
 def _config(**kw) -> WorkStealingConfig:
@@ -176,6 +181,47 @@ class TestDifferentialMatrix:
 
     def test_single_rank(self):
         assert_identical(_config(nranks=1), shards=1)
+
+
+class TestAdaptiveDifferential:
+    """Feedback-driven selectors must see the *same* notify stream in
+    both engines: any divergence in adaptive state shows up here as a
+    victim-sequence (hence trace/counter) mismatch."""
+
+    @pytest.mark.parametrize("selector", ADAPTIVE_SELECTORS)
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_shard_counts(self, selector, shards):
+        assert_identical(
+            _config(selector=selector, steal_policy="adaptive[2]"),
+            shards=shards,
+        )
+
+    @pytest.mark.parametrize("selector", ADAPTIVE_SELECTORS)
+    def test_multiprocess(self, selector):
+        assert_identical(
+            _config(selector=selector, steal_policy="adaptive[2]"),
+            shards=4,
+            workers=2,
+        )
+
+    def test_adaptive_with_lifelines(self):
+        # Lifeline pushes notify(success=True) for victims the selector
+        # never drew; the adaptive state must digest them identically.
+        assert_identical(
+            _config(
+                selector="adapt-backoff[2]",
+                steal_policy="adaptive[2]",
+                lifelines=2,
+            ),
+            shards=4,
+        )
+
+    def test_adaptive_policy_non_aligned_allocation(self):
+        assert_identical(
+            _config(selector="adapt-eps[0.2]", steal_policy="adaptive[2]",
+                    allocation="8RR"),
+            shards=4,
+        )
 
 
 class TestMultiProcess:

@@ -1,0 +1,137 @@
+"""Unit tests of the tournament harness (grid, scoring, artifacts)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import WorkStealingConfig
+from repro.tournament import PRESETS, TournamentSpec, run_tournament
+from repro.tournament.__main__ import main
+from repro.uts.params import T3XS
+
+
+SPEC = TournamentSpec(
+    name="unit",
+    tree="T3XS",
+    nranks=16,
+    selectors=("rand", "adapt-sr[0.9]"),
+    steal_policies=("one", "adaptive[2]"),
+)
+
+
+class TestSpec:
+    def test_grid_order_is_selector_major_and_stable(self):
+        labels = [cfg.label() for cfg in SPEC.configs()]
+        assert labels == [
+            "rand/one 1/N x16 [T3XS]",
+            "rand/adaptive[2] 1/N x16 [T3XS]",
+            "adapt-sr[0.9]/one 1/N x16 [T3XS]",
+            "adapt-sr[0.9]/adaptive[2] 1/N x16 [T3XS]",
+        ]
+        assert labels == [cfg.label() for cfg in SPEC.configs()]
+
+    def test_adaptive_knobs_change_fingerprints(self):
+        """The adaptive parameters are physics: two runs that adapt
+        differently must never share a cache slot."""
+        base = WorkStealingConfig(tree=T3XS, nranks=16, selector="adapt-eps[0.1]")
+        assert (
+            base.fingerprint()
+            != WorkStealingConfig(
+                tree=T3XS, nranks=16, selector="adapt-eps[0.2]"
+            ).fingerprint()
+        )
+        assert (
+            WorkStealingConfig(
+                tree=T3XS, nranks=16, steal_policy="adaptive[2]"
+            ).fingerprint()
+            != WorkStealingConfig(
+                tree=T3XS, nranks=16, steal_policy="adaptive[3]"
+            ).fingerprint()
+        )
+
+    def test_trace_knob_not_in_fingerprint_but_activity_trace_is(self):
+        # Tournament configs rely on event_trace being free (excluded)
+        # while trace=True is part of the physics fingerprint.
+        a = WorkStealingConfig(tree=T3XS, nranks=16, trace=True)
+        assert (
+            a.fingerprint()
+            == WorkStealingConfig(
+                tree=T3XS, nranks=16, trace=True, event_trace=True
+            ).fingerprint()
+        )
+
+    def test_presets_are_well_formed(self):
+        for name, spec in PRESETS.items():
+            assert spec.name == name
+            assert spec.selectors
+            configs = spec.configs()
+            assert len(configs) == (
+                len(spec.selectors)
+                * len(spec.steal_policies)
+                * len(spec.allocations)
+            )
+            assert all(cfg.trace for cfg in configs)
+            assert not any(cfg.event_trace for cfg in configs)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def tournament(self):
+        return run_tournament(SPEC)
+
+    def test_rows_ranked_by_makespan(self, tournament):
+        spans = [row["makespan"] for row in tournament.rows]
+        assert spans == sorted(spans)
+        assert tournament.winner is tournament.rows[0]
+        assert len(tournament.rows) == 4
+        assert tournament.executed == 4 and tournament.cached == 0
+
+    def test_row_fields_complete(self, tournament):
+        for row in tournament.rows:
+            assert row["tree"] == "T3XS" and row["nranks"] == 16
+            assert row["makespan"] > 0
+            assert 0 < row["efficiency"] <= 1
+            assert 0 <= row["steal_success_rate"] <= 1
+            assert row["failed_steals"] >= 0
+
+    def test_row_for(self, tournament):
+        row = tournament.row_for("rand", "one")
+        assert row["selector"] == "rand" and row["steal_policy"] == "one"
+        with pytest.raises(KeyError):
+            tournament.row_for("no-such-selector")
+
+    def test_artifacts(self, tournament, tmp_path):
+        paths = tournament.write(tmp_path)
+        assert [os.path.basename(p) for p in paths] == [
+            "tournament_unit.json",
+            "tournament_unit.md",
+        ]
+        payload = json.loads(open(paths[0]).read())
+        assert payload["spec"]["name"] == "unit"
+        assert len(payload["rows"]) == 4
+        # Run bookkeeping must NOT leak into the deterministic artifact.
+        assert "executed" not in payload and "cached" not in payload
+        md = open(paths[1]).read()
+        assert md.count("\n| ") == 1 + 4  # header + one line per row
+        assert "adapt-sr[0.9]" in md
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in PRESETS:
+            assert name in out
+
+    def test_smoke_run_and_require_cached(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        out = str(tmp_path / "art")
+        args = ["--preset", "smoke", "--store", store, "--out", out]
+        # Cold: simulates, so --require-cached must fail...
+        assert main(args + ["--require-cached"]) == 1
+        # ...and the warm rerun must be fully store-served.
+        assert main(args + ["--require-cached"]) == 0
+        assert os.path.exists(os.path.join(out, "tournament_smoke.json"))

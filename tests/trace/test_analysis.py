@@ -167,7 +167,10 @@ class TestDistances:
 # ----------------------------------------------------------------------
 
 _PATTERN_ARGS = {"skew[<alpha>]": "skew[1.5]", "hier[<p_near>]": "hier[0.75]",
-                 "latskew[<alpha>]": "latskew[1.5]"}
+                 "latskew[<alpha>]": "latskew[1.5]",
+                 "adapt-eps[<eps>]": "adapt-eps[0.1]",
+                 "adapt-sr[<decay>]": "adapt-sr[0.9]",
+                 "adapt-backoff[<fails>]": "adapt-backoff[2]"}
 
 
 def _concrete_selectors() -> list[str]:
