@@ -60,7 +60,14 @@ __all__ = ["WorkStealingConfig", "FINGERPRINT_EXCLUDED_FIELDS"]
 #: suite in ``tests/sim/test_sharded.py`` is the proof), so they
 #: select *how* the simulation is computed, never *what* it computes.
 FINGERPRINT_EXCLUDED_FIELDS = frozenset(
-    {"event_trace", "event_trace_capacity", "engine", "shards", "shard_workers"}
+    {
+        "event_trace",
+        "event_trace_capacity",
+        "engine",
+        "shards",
+        "shard_workers",
+        "shard_transport",
+    }
 )
 
 
@@ -122,10 +129,19 @@ class WorkStealingConfig:
     #: from ``nranks``.
     shards: int = 0
     #: Worker processes hosting the shards: 1 runs every shard
-    #: in-process (the default — this machine class is single-core and
-    #: the engine's speedup is structural, not parallel); > 1 spreads
-    #: shards over that many OS processes.
+    #: in-process (the default), > 1 spreads shards over that many OS
+    #: processes behind the fused coordinator protocol, and 0 picks one
+    #: process per core (:func:`repro.sim.shard.auto_shard_workers`,
+    #: i.e. ``os.cpu_count()``).  The effective count is capped at the
+    #: shard count.
     shard_workers: int = 1
+    #: Cross-process transport for ``shard_workers > 1``: ``"pipe"``
+    #: sends the packed outbox blobs through the coordinator pipes,
+    #: ``"shm"`` moves blob bytes through ``multiprocessing.
+    #: shared_memory`` scratch segments (control stays on the pipe) and
+    #: falls back to pipes per payload and per platform.  Results are
+    #: bit-identical either way; excluded from fingerprints.
+    shard_transport: str = "pipe"
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
@@ -181,9 +197,15 @@ class WorkStealingConfig:
             raise ConfigurationError(
                 f"shards must be >= 0 (0 = auto), got {self.shards}"
             )
-        if self.shard_workers < 1:
+        if self.shard_workers < 0:
             raise ConfigurationError(
-                f"shard_workers must be >= 1, got {self.shard_workers}"
+                f"shard_workers must be >= 0 (0 = one per core), "
+                f"got {self.shard_workers}"
+            )
+        if self.shard_transport not in ("pipe", "shm"):
+            raise ConfigurationError(
+                f"shard_transport must be 'pipe' or 'shm', "
+                f"got {self.shard_transport!r}"
             )
         if self.engine == "sharded" and self.nic_service_time > 0:
             # The NIC port queue is order-sensitive global state mutated
@@ -346,6 +368,7 @@ class WorkStealingConfig:
             "engine": self.engine,
             "shards": self.shards,
             "shard_workers": self.shard_workers,
+            "shard_transport": self.shard_transport,
         }
 
     @classmethod

@@ -18,7 +18,11 @@ targets and emits a ``BENCH_<n>.json`` with before/after numbers:
 * **sharded throughput** — events/second of the sharded
   conservative-lookahead engine vs shard count, against an interleaved
   same-machine single-queue baseline (``python -m repro.perf.sharded``
-  writes this rung as ``BENCH_4.json``).
+  writes this rung as ``BENCH_4.json``);
+* **parallel shards** — wall time of the multiprocess sharded driver
+  vs ``shard_workers`` and transport, with the coordinator-vs-worker
+  time split that an Amdahl read-out needs
+  (``python -m repro.perf.sharded --parallel`` writes ``BENCH_5.json``).
 
 Scenario functions are plain callables returning dicts so tests can
 drive them with small sizes; the CLI composes them into the JSON
@@ -44,6 +48,7 @@ __all__ = [
     "bench_event_throughput",
     "bench_placement_scale",
     "bench_sharded_throughput",
+    "bench_parallel_shards",
 ]
 
 #: Event throughput of the Fig 2 configuration measured at the commit
@@ -250,6 +255,126 @@ def bench_sharded_throughput(
         "method": "interleaved rounds, best-of per engine, same machine",
         "sequential": seq,
         "sharded": rows,
+    }
+
+
+def bench_parallel_shards(
+    tree: str = "T3XL",
+    nranks: int = 4096,
+    shards: int = 8,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+    transports: tuple[str, ...] = ("pipe", "shm"),
+    trials: int = 1,
+) -> dict:
+    """Wall time of the sharded engine vs ``shard_workers``, with the
+    coordinator/worker time split.
+
+    ``shard_workers=1`` is the in-process driver — the baseline every
+    multiprocess row is normalised against.  Rows with ``workers > 1``
+    are run once per transport; every row must process the identical
+    event/node totals (the bit-identity contract's cheap proxy — the
+    full byte compare lives in tests/sim/test_sharded.py).
+
+    Per multiprocess row the engine's :attr:`parallel_stats` are folded
+    in: ``coordinator_wait_s`` (time the coordinator spent blocked on
+    child replies), per-child busy seconds, round/RTT counts and wire
+    bytes.  ``sum(worker_busy_s)`` vs wall time is the Amdahl read-out:
+    on a single-core host wall ~= coordinator work + the *sum* of child
+    busy time and the sweep documents overhead, not speedup — which is
+    why ``cpu_count`` is recorded alongside.
+    """
+    import os
+
+    from repro.sim.shard import ShardedCluster
+
+    cfg = experiment_config(
+        tree,
+        nranks,
+        allocation="1/N",
+        selector="reference",
+        steal_policy="one",
+        nic_service_time=0.0,
+    )
+    plan: list[tuple[int, str]] = []
+    for workers in worker_counts:
+        if workers <= 1:
+            plan.append((1, "inprocess"))
+        else:
+            plan.extend((workers, t) for t in transports)
+
+    best: dict[tuple[int, str], dict] = {}
+    for _ in range(max(1, trials)):
+        for workers, transport in plan:
+            sharded_cfg = replace(
+                cfg,
+                engine="sharded",
+                shards=shards,
+                shard_workers=workers,
+                shard_transport=transport if workers > 1 else "pipe",
+            )
+            cluster = ShardedCluster(sharded_cfg)
+            t0 = time.perf_counter()
+            outcome = cluster.run()
+            elapsed = time.perf_counter() - t0
+            row = {
+                "workers": workers,
+                "transport": transport,
+                "events": outcome.events_processed,
+                "nodes": outcome.total_nodes,
+                "seconds": round(elapsed, 6),
+                "events_per_sec": round(outcome.events_processed / elapsed)
+                if elapsed
+                else None,
+            }
+            stats = cluster.parallel_stats
+            if stats is not None:
+                busy = stats["worker_busy_s"]
+                row.update(
+                    {
+                        "transport": stats["transport"],
+                        "rounds": stats["rounds"],
+                        "round_trips": stats["round_trips"],
+                        "skipped_child_steps": stats["skipped_child_steps"],
+                        "coordinator_wait_s": round(
+                            stats["coordinator_wait_s"], 6
+                        ),
+                        "worker_busy_s": [round(b, 6) for b in busy],
+                        "sum_worker_busy_s": round(sum(busy), 6),
+                        "max_worker_busy_s": round(max(busy), 6),
+                        "bytes_sent": stats["bytes_sent"],
+                        "bytes_recv": stats["bytes_recv"],
+                    }
+                )
+            key = (workers, transport)
+            slot = best.get(key)
+            if slot is None or row["seconds"] < slot["seconds"]:
+                best[key] = row
+
+    rows = [best[key] for key in ((w, t) for w, t in plan)]
+    base = next((r for r in rows if r["workers"] == 1), None)
+    for row in rows:
+        if base is not None:
+            row["speedup_vs_workers1"] = round(
+                base["seconds"] / row["seconds"], 2
+            )
+            if (row["events"], row["nodes"]) != (
+                base["events"],
+                base["nodes"],
+            ):
+                raise AssertionError(
+                    f"drivers diverged on {tree}@{nranks}: workers=1 "
+                    f"{base['events']}/{base['nodes']} vs "
+                    f"workers={row['workers']}/{row['transport']} "
+                    f"{row['events']}/{row['nodes']}"
+                )
+    return {
+        "tree": tree,
+        "nranks": nranks,
+        "shards": shards,
+        "trials": trials,
+        "cpu_count": os.cpu_count(),
+        "method": "interleaved rounds, best-of per row, same machine",
+        "rows": rows,
     }
 
 

@@ -28,6 +28,12 @@ differing only by seed, ranked by popularity; client *c* requests rank
 Every run is milliseconds long, so the benchmark measures the service
 stack — submission, dedup, scheduling, store round-trips — not the
 simulator.
+
+``--engine sharded --shard-workers N`` routes every request through
+the sharded engine's multiprocess driver nested inside the service's
+worker pool.  Results are bit-identical to sequential runs (the knobs
+share fingerprints and store entries by design), so the scenario
+exercises the routing and nested process management, not new physics.
 """
 
 from __future__ import annotations
@@ -50,10 +56,31 @@ from repro.service.store import ArtifactStore
 __all__ = ["run_load", "main"]
 
 
-def _universe(size: int) -> list[WorkStealingConfig]:
-    """Popularity-ranked distinct configs (rank 0 = most popular)."""
+def _universe(
+    size: int,
+    engine: str = "sequential",
+    shards: int = 2,
+    shard_workers: int = 1,
+    shard_transport: str = "pipe",
+) -> list[WorkStealingConfig]:
+    """Popularity-ranked distinct configs (rank 0 = most popular).
+
+    ``engine="sharded"`` routes every request through the sharded DES
+    (optionally multiprocess via ``shard_workers``); results are
+    bit-identical to the sequential engine, so the engine knobs change
+    only where the service's CPU time goes — they share fingerprints,
+    dedup slots and store entries with sequential runs by design.
+    """
+    engine_kw: dict = {}
+    if engine != "sequential":
+        engine_kw = {
+            "engine": engine,
+            "shards": shards,
+            "shard_workers": shard_workers,
+            "shard_transport": shard_transport,
+        }
     return [
-        WorkStealingConfig(tree=T3XS, nranks=4, seed=seed)
+        WorkStealingConfig(tree=T3XS, nranks=4, seed=seed, **engine_kw)
         for seed in range(size)
     ]
 
@@ -112,8 +139,18 @@ async def _drive(
     workers: int,
     store_dir: str | None,
     seed: int,
+    engine: str = "sequential",
+    shards: int = 2,
+    shard_workers: int = 1,
+    shard_transport: str = "pipe",
 ) -> dict:
-    universe = _universe(universe_size)
+    universe = _universe(
+        universe_size,
+        engine=engine,
+        shards=shards,
+        shard_workers=shard_workers,
+        shard_transport=shard_transport,
+    )
     weights = _zipf_weights(universe_size, zipf)
     store = ArtifactStore(store_dir) if store_dir else ArtifactStore(
         tempfile.mkdtemp(prefix="repro-loadgen-")
@@ -160,6 +197,16 @@ async def _drive(
         "duration_s": round(elapsed, 3),
         "clients": clients,
         "workers": workers,
+        "engine": engine,
+        **(
+            {
+                "shards": shards,
+                "shard_workers": shard_workers,
+                "shard_transport": shard_transport,
+            }
+            if engine != "sequential"
+            else {}
+        ),
         "universe": universe_size,
         "zipf_exponent": zipf,
         "sweeps": sweeps,
@@ -190,6 +237,10 @@ def run_load(
     workers: int = 2,
     store_dir: str | None = None,
     seed: int = 0,
+    engine: str = "sequential",
+    shards: int = 2,
+    shard_workers: int = 1,
+    shard_transport: str = "pipe",
 ) -> dict:
     """Run the load benchmark and return its results dict."""
     return asyncio.run(
@@ -201,6 +252,10 @@ def run_load(
             workers=workers,
             store_dir=store_dir,
             seed=seed,
+            engine=engine,
+            shards=shards,
+            shard_workers=shard_workers,
+            shard_transport=shard_transport,
         )
     )
 
@@ -248,6 +303,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, metavar="N")
     parser.add_argument(
+        "--engine",
+        choices=("sequential", "sharded"),
+        default="sequential",
+        help="simulation engine for every config in the universe "
+        "(results are bit-identical; only service CPU routing changes)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shard count when --engine sharded (default: 2)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="OS processes per sharded run; 0 = one per core (default: 1)",
+    )
+    parser.add_argument(
+        "--shard-transport",
+        choices=("pipe", "shm"),
+        default="pipe",
+        help="cross-process transport when --shard-workers != 1",
+    )
+    parser.add_argument(
         "--out",
         metavar="PATH",
         default=None,
@@ -283,6 +365,10 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         store_dir=args.store,
         seed=args.seed,
+        engine=args.engine,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        shard_transport=args.shard_transport,
     )
     report = {
         "schema": "repro-service-load-v1",

@@ -16,6 +16,11 @@ Every message class carries an integer ``tag`` class attribute (the
 ``TAG_*`` constants).  The event loop and the workers dispatch on the
 tag with plain integer comparisons instead of ``isinstance`` chains —
 one attribute load and an int compare per message on the DES hot path.
+
+Messages compare by value (``__eq__``) so the cross-shard wire codec
+(:mod:`repro.sim.shardcodec`) can assert encode→decode identity; they
+keep identity hashing — the engine never keys containers by message
+value, and per-instance hashing would silently change that contract.
 """
 
 from __future__ import annotations
@@ -70,6 +75,15 @@ class StealRequest:
         self.thief = thief
         self.escalated = escalated
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is StealRequest
+            and other.thief == self.thief
+            and other.escalated == self.escalated
+        )
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         esc = ", escalated" if self.escalated else ""
         return f"StealRequest(thief={self.thief}{esc})"
@@ -94,6 +108,15 @@ class StealResponse:
     def nodes(self) -> int:
         return sum(c.size for c in self.chunks) if self.chunks else 0
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is StealResponse
+            and other.victim == self.victim
+            and other.chunks == self.chunks
+        )
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         what = f"{len(self.chunks)} chunks" if self.chunks else "no work"
         return f"StealResponse(victim={self.victim}, {what})"
@@ -111,6 +134,11 @@ class Token:
             raise ValueError(f"token color must be WHITE/BLACK, got {color}")
         self.color = color
 
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Token and other.color == self.color
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({'white' if self.color == WHITE else 'black'})"
 
@@ -121,6 +149,11 @@ class Finish:
     tag = TAG_FINISH
 
     __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Finish
+
+    __hash__ = object.__hash__
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Finish()"
@@ -136,6 +169,11 @@ class LifelineRegister:
     def __init__(self, thief: int):
         self.thief = thief
 
+    def __eq__(self, other: object) -> bool:
+        return type(other) is LifelineRegister and other.thief == self.thief
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LifelineRegister(thief={self.thief})"
 
@@ -149,6 +187,11 @@ class LifelineDeregister:
 
     def __init__(self, thief: int):
         self.thief = thief
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is LifelineDeregister and other.thief == self.thief
+
+    __hash__ = object.__hash__
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LifelineDeregister(thief={self.thief})"

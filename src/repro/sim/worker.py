@@ -256,6 +256,59 @@ class Worker:
         else:
             self._go_idle(t)
 
+    def run_quanta(self, now: float, t_stop: float) -> tuple[float, int]:
+        """Burst-execute chained pure-compute quanta (sharded engine).
+
+        Equivalent to the event loop delivering this worker's EXEC
+        chain one event at a time, for as long as each quantum starts
+        strictly before ``t_stop`` and leaves the stack non-empty.  The
+        caller materialises the next EXEC event at the returned time,
+        so idle transitions, steal serving and every send stay on the
+        ordered event path — the burst touches only this worker's stack
+        and counters, which is what makes it commute with other ranks'
+        events inside a lookahead window.
+
+        Only valid for a RUNNING plain worker (``_plain_serve``) with
+        no pending requests and a non-empty stack; the first quantum
+        corresponds to an EXEC event already popped by the caller.
+        Returns ``(next_exec_time, quanta_run)``.
+        """
+        if self._scalar_path:
+            t, nq, nodes = self.stack.expand_quanta(
+                self.poll_interval,
+                self._children_list,
+                now,
+                t_stop,
+                self.per_node_time,
+            )
+        else:
+            stack = self.stack
+            chunks = stack._chunks
+            poll = self.poll_interval
+            pnt = self.per_node_time
+            generator = self.generator
+            t = now
+            nq = 0
+            nodes = 0
+            while True:
+                states, depths = stack.pop_batch(poll)
+                n = len(states)
+                child_states, child_depths, _counts = generator.children_batch(
+                    states, depths
+                )
+                if child_states.size:
+                    stack.push_batch(child_states, child_depths)
+                nq += 1
+                nodes += n
+                t += n * pnt
+                if not chunks or t >= t_stop:
+                    break
+        self.nodes_processed += nodes
+        notify = self._notify_nodes
+        if notify is not None:
+            notify(nodes)
+        return t, nq
+
     def on_message(self, now: float, msg: object) -> None:
         """A message arrived at this rank at (true) time ``now``."""
         if self.status is WorkerStatus.DONE:

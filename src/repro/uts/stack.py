@@ -67,6 +67,36 @@ class Chunk:
         chunk.size = n
         return chunk
 
+    @classmethod
+    def from_lists(
+        cls, states: list[int], depths: list[int], capacity: int
+    ) -> "Chunk":
+        """Adopt ready-made Python lists without ndarray round trips.
+
+        The wire-codec decode path (:mod:`repro.sim.shardcodec`) builds
+        chunks straight from buffer slices; the lists are adopted, not
+        copied, so the caller must hand over ownership.
+        """
+        n = len(states)
+        if n > capacity:
+            raise StackError(f"{n} nodes exceed chunk capacity {capacity}")
+        chunk = cls(capacity)
+        chunk.states = states
+        chunk.depths = depths
+        chunk.size = n
+        return chunk
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is Chunk
+            and other.capacity == self.capacity
+            and other.size == self.size
+            and other.states == self.states
+            and other.depths == self.depths
+        )
+
+    __hash__ = object.__hash__
+
     @property
     def is_full(self) -> bool:
         return self.size == self.capacity
@@ -301,6 +331,67 @@ class ChunkedStack:
             else:
                 self.push_batch_list(child_states, child_depths)
         return npop
+
+    def expand_quanta(
+        self,
+        n: int,
+        children_fn,
+        t: float,
+        t_stop: float,
+        per_node_time: float,
+    ) -> tuple[float, int, int]:
+        """Run consecutive :meth:`expand_quantum` calls as one burst.
+
+        The sharded engine's pure-compute fast path: the first quantum
+        runs unconditionally (it corresponds to an already-popped EXEC
+        event), each further quantum only while the stack still holds
+        work and its start time is strictly below ``t_stop``.  ``t``
+        advances by ``npop * per_node_time`` per quantum — exactly the
+        arithmetic of the worker's EXEC handler, one quantum at a time,
+        so the resulting node stream and timestamps are bit-identical
+        to the event-by-event path.  Requires a non-empty stack.
+
+        Returns ``(t, quanta, nodes)``: the start time of the next
+        (un-run) quantum, how many quanta ran, and the nodes expanded.
+        """
+        chunks = self._chunks
+        quanta = 0
+        nodes = 0
+        pop_list = self.pop_batch_list
+        push_list = self.push_batch_list
+        while True:
+            # Inlined expand_quantum body (kept in lockstep with it;
+            # the parity test in tests/uts drives both paths).
+            top = chunks[-1]
+            if top.size > n:
+                top.size -= n
+                ts = top.states
+                td = top.depths
+                states = ts[-n:]
+                depths = td[-n:]
+                del ts[-n:]
+                del td[-n:]
+                self.total_popped += n
+                npop = n
+            else:
+                states, depths = pop_list(n)
+                npop = len(states)
+            child_states, child_depths = children_fn(states, depths)
+            nch = len(child_states)
+            if nch:
+                top = chunks[-1] if chunks else None
+                if top is not None and top.capacity - top.size >= nch:
+                    top.states += child_states
+                    top.depths += child_depths
+                    top.size += nch
+                    self.total_pushed += nch
+                else:
+                    push_list(child_states, child_depths)
+            quanta += 1
+            nodes += npop
+            t += npop * per_node_time
+            if not chunks or t >= t_stop:
+                return t, quanta, nodes
 
     # ------------------------------------------------------------------
     # Thief operations (remove whole chunks from the bottom)

@@ -11,16 +11,26 @@ allocations, and both the in-process and multi-process drivers.
 
 from __future__ import annotations
 
+import contextlib
+import multiprocessing
+import os
+import time
 from dataclasses import replace
 
 import numpy as np
 import pytest
 
 from repro.core.config import WorkStealingConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.net.latency import UniformLatency
+from repro.sim import shard as shard_mod
 from repro.sim.cluster import Cluster
-from repro.sim.shard import ShardedCluster, auto_shards, shard_bounds
+from repro.sim.shard import (
+    ShardedCluster,
+    auto_shard_workers,
+    auto_shards,
+    shard_bounds,
+)
 from repro.uts.params import T3XS
 from repro.ws import run_uts
 from repro.ws.results import RunResult
@@ -60,11 +70,37 @@ def _sequential(cfg: WorkStealingConfig) -> RunResult:
     return _SEQ_CACHE[key]
 
 
-def assert_identical(cfg: WorkStealingConfig, shards: int, workers: int = 1):
+@contextlib.contextmanager
+def engine_flags(**flags):
+    """Pin the sharded engine's optimisation flags for one run.
+
+    Children of the multiprocess driver inherit the patched module
+    globals under the fork start method, so this drives both drivers.
+    """
+    saved = {name: getattr(shard_mod, name) for name in flags}
+    for name, value in flags.items():
+        setattr(shard_mod, name, value)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(shard_mod, name, value)
+
+
+def assert_identical(
+    cfg: WorkStealingConfig,
+    shards: int,
+    workers: int = 1,
+    transport: str = "pipe",
+):
     """Run both engines and compare every observable, bit for bit."""
     seq = _sequential(cfg)
     sharded_cfg = replace(
-        cfg, engine="sharded", shards=shards, shard_workers=workers
+        cfg,
+        engine="sharded",
+        shards=shards,
+        shard_workers=workers,
+        shard_transport=transport,
     )
     sh = RunResult.from_outcome(ShardedCluster(sharded_cfg).run())
     assert seq.to_dict() == sh.to_dict()
@@ -240,6 +276,145 @@ class TestMultiProcess:
 
     def test_multiprocess_lifelines(self):
         assert_identical(_config(lifelines=2), shards=4, workers=2)
+
+
+class TestTransportMatrix:
+    """Transport x window-batching combinations, all bit-identical.
+
+    The optimisation flags are plain module globals; under the fork
+    start method children inherit the patched values, so each case
+    exercises the full coordinator/worker protocol under that flag
+    combination, not just the in-process driver.
+    """
+
+    @pytest.mark.parametrize("burst", [True, False])
+    @pytest.mark.parametrize("extension", [True, False])
+    def test_inprocess_batching_flags(self, burst, extension):
+        with engine_flags(USE_BURST=burst, USE_WINDOW_EXTENSION=extension):
+            assert_identical(
+                _config(selector="rand", steal_policy="half"), shards=4
+            )
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    @pytest.mark.parametrize(
+        "burst,extension",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_multiprocess_transport_by_batching(
+        self, transport, burst, extension
+    ):
+        with engine_flags(USE_BURST=burst, USE_WINDOW_EXTENSION=extension):
+            assert_identical(
+                _config(), shards=4, workers=2, transport=transport
+            )
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_codec_off_is_identical(self, transport):
+        # Pickle fallback vs packed codec: same bytes out of the run.
+        with engine_flags(WIRE_CODEC=False):
+            assert_identical(
+                _config(lifelines=2), shards=4, workers=2,
+                transport=transport,
+            )
+
+    def test_overlap_off_is_identical(self):
+        with engine_flags(USE_OVERLAP=False):
+            assert_identical(_config(), shards=4, workers=2)
+
+    def test_shm_with_traces_and_adaptive(self):
+        assert_identical(
+            _config(
+                selector="adapt-eps[0.2]",
+                steal_policy="adaptive[2]",
+                trace=True,
+            ),
+            shards=4,
+            workers=4,
+            transport="shm",
+        )
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _config(shard_transport="carrier-pigeon")
+
+
+class TestWorkerPoolLifecycle:
+    """Process hygiene: auto-sizing, stats, and no leaked children."""
+
+    def test_auto_shard_workers_matches_cpu_count(self):
+        assert auto_shard_workers() == max(1, os.cpu_count() or 1)
+
+    def test_zero_workers_resolves_to_auto_capped_by_shards(self):
+        cfg = replace(_config(), engine="sharded", shards=2, shard_workers=0)
+        cluster = ShardedCluster(cfg)
+        assert cluster._nworkers == max(1, min(auto_shard_workers(), 2))
+
+    def test_zero_workers_run_is_identical(self):
+        assert_identical(_config(), shards=2, workers=0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _config(shard_workers=-1)
+
+    def test_parallel_stats_populated(self):
+        cfg = replace(
+            _config(), engine="sharded", shards=4, shard_workers=2
+        )
+        cluster = ShardedCluster(cfg)
+        cluster.run()
+        stats = cluster.parallel_stats
+        assert stats is not None
+        assert stats["workers"] == 2
+        assert stats["shards"] == 4
+        assert stats["transport"].startswith("pipe")
+        assert stats["rounds"] > 0
+        assert stats["round_trips"] >= stats["rounds"]
+        assert len(stats["worker_busy_s"]) == 2
+        assert stats["bytes_sent"] > 0 and stats["bytes_recv"] > 0
+
+    def test_inprocess_run_has_no_parallel_stats(self):
+        cfg = replace(_config(), engine="sharded", shards=4)
+        cluster = ShardedCluster(cfg)
+        cluster.run()
+        assert cluster.parallel_stats is None
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_raising_child_leaves_no_live_process(self, transport):
+        # A child that blows its event budget sends an error reply and
+        # the coordinator re-raises; the pool must still tear every
+        # process down (the old join() ignored its timeout and could
+        # strand children forever).
+        cfg = replace(
+            _config(),
+            engine="sharded",
+            shards=4,
+            shard_workers=2,
+            shard_transport=transport,
+        )
+        before = {p.pid for p in multiprocessing.active_children()}
+        with pytest.raises(SimulationError, match="exceeded"):
+            ShardedCluster(cfg, max_events=50).run()
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            leaked = [
+                p
+                for p in multiprocessing.active_children()
+                if p.pid not in before
+            ]
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert not leaked, f"stranded children: {leaked}"
+
+    def test_healthy_run_leaves_no_live_process(self):
+        before = {p.pid for p in multiprocessing.active_children()}
+        assert_identical(_config(), shards=4, workers=4)
+        leaked = [
+            p
+            for p in multiprocessing.active_children()
+            if p.pid not in before
+        ]
+        assert not leaked
 
 
 class TestRunnerRouting:

@@ -91,5 +91,12 @@ def test_excluded_fields_are_the_observationally_inert_knobs():
     # differential suite (tests/sim/test_sharded.py).  Neither may
     # change what a fingerprint caches.
     assert FINGERPRINT_EXCLUDED_FIELDS == frozenset(
-        {"event_trace", "event_trace_capacity", "engine", "shards", "shard_workers"}
+        {
+            "event_trace",
+            "event_trace_capacity",
+            "engine",
+            "shards",
+            "shard_workers",
+            "shard_transport",
+        }
     )

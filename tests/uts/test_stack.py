@@ -240,6 +240,75 @@ class TestProperties:
             assert other.size == in_other
 
     @given(
+        st.lists(st.integers(min_value=1, max_value=60), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_expand_quanta_matches_repeated_expand_quantum(
+        self, sizes, chunk_size, n, budget
+    ):
+        """The burst path is the per-quantum path, verbatim.
+
+        ``expand_quanta`` inlines ``expand_quantum``'s body (the
+        sharded engine's pure-compute fast path leans on the two
+        staying in lockstep); this drives both over the same stack
+        content, children function and stop time and demands the same
+        node stream, timestamps, counters and final chunk layout.
+        """
+
+        def children_fn(states, depths):
+            cs, cd = [], []
+            for s, d in zip(states, depths):
+                for k in range(s % 3):
+                    cs.append((s * 1103515245 + k) % (2**63))
+                    cd.append(d + 1)
+            return cs, cd
+
+        def build():
+            stack = ChunkedStack(chunk_size)
+            base = 0
+            for count in sizes:
+                stack.push_batch_list(
+                    list(range(base, base + count)), [0] * count
+                )
+                base += count
+            return stack
+
+        per_node_time = 0.125
+        t_stop = budget * per_node_time
+
+        burst = build()
+        t_b, quanta_b, nodes_b = burst.expand_quanta(
+            n, children_fn, 0.0, t_stop, per_node_time
+        )
+
+        step = build()
+        t_s = 0.0
+        quanta_s = nodes_s = 0
+        while True:
+            # First quantum unconditional (an already-popped EXEC),
+            # further ones only while work remains below t_stop.
+            npop = step.expand_quantum(n, children_fn)
+            quanta_s += 1
+            nodes_s += npop
+            t_s += npop * per_node_time
+            if step.is_empty or t_s >= t_stop:
+                break
+
+        assert (t_b, quanta_b, nodes_b) == (t_s, quanta_s, nodes_s)
+        assert burst.total_popped == step.total_popped
+        assert burst.total_pushed == step.total_pushed
+        assert burst.size == step.size
+        assert [
+            (c.size, c.capacity, c.states, c.depths) for c in burst._chunks
+        ] == [
+            (c.size, c.capacity, c.states, c.depths) for c in step._chunks
+        ]
+        burst.check_invariant()
+
+    @given(
         st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=20),
         st.integers(min_value=1, max_value=32),
     )
