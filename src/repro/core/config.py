@@ -45,7 +45,11 @@ from repro.net.topology import Topology
 from repro.uts.params import TreeParams, tree_by_name
 from repro.uts.rng import RngBackend
 
-__all__ = ["WorkStealingConfig", "FINGERPRINT_EXCLUDED_FIELDS"]
+__all__ = [
+    "WorkStealingConfig",
+    "FINGERPRINT_EXCLUDED_FIELDS",
+    "FINGERPRINT_DEFAULT_ELIDED",
+]
 
 #: Observability-only fields excluded from config fingerprints.
 #: Tracing never changes a run's physics (the determinism suite pins
@@ -69,6 +73,26 @@ FINGERPRINT_EXCLUDED_FIELDS = frozenset(
         "shard_transport",
     }
 )
+
+#: Physics fields elided from fingerprints when they hold their
+#: defaults.  These knobs (the steal-protocol axis) *do* change run
+#: physics, so non-default values must fingerprint distinctly — but at
+#: their defaults they describe exactly the runs that existed before
+#: the knobs did, and dropping the key keeps every previously computed
+#: fingerprint (and therefore the result cache) byte-stable.  The cost
+#: of the convention is conservative only: an inert non-default value
+#: (say ``region_attempts=5`` with ``regions=0``) fingerprints apart
+#: from the default config — a cache miss, never a wrong cache hit.
+FINGERPRINT_DEFAULT_ELIDED = {
+    "protocol": "steal",
+    "forward_ttl": 2,
+    "regions": 0,
+    "region_attempts": 2,
+    "lifeline_graph": "hypercube",
+}
+
+#: Sentinel distinct from every config value (``None`` is a real one).
+_MISSING = object()
 
 
 @dataclass
@@ -118,6 +142,24 @@ class WorkStealingConfig:
     #: Consecutive failed steals before a rank quiesces onto its
     #: lifelines (only meaningful when ``lifelines > 0``).
     lifeline_threshold: int = 8
+    #: Steal-protocol variant (see :mod:`repro.protocol`):
+    #: ``"steal"`` is the reference request/response loop; ``"forward"``
+    #: relays denied requests toward work instead of failing them.
+    protocol: str = "steal"
+    #: Maximum relay hops per forwarded request chain (the first victim
+    #: spends none; only meaningful when ``protocol="forward"``).
+    forward_ttl: int = 2
+    #: Locality regions for localized stealing: the rank space is cut
+    #: into this many allocation-aligned blocks and victim draws try
+    #: the rank's own region first.  0 disables the discipline.
+    regions: int = 0
+    #: Victim draws per work-discovery session aimed intra-region
+    #: before the configured selector takes over (``regions > 0``).
+    region_attempts: int = 2
+    #: Lifeline partner graph (registry kind ``"lifeline_graph"``:
+    #: ``"hypercube"``, ``"ring"``, ``"random"``, ``"regtree"``); only
+    #: meaningful when ``lifelines > 0``.
+    lifeline_graph: str = "hypercube"
 
     #: Simulation engine: ``"sequential"`` (the single event queue) or
     #: ``"sharded"`` (:mod:`repro.sim.shard` — per-rank-group queues
@@ -189,6 +231,28 @@ class WorkStealingConfig:
             raise ConfigurationError(
                 f"lifeline_threshold must be >= 1, got {self.lifeline_threshold}"
             )
+        if self.protocol not in ("steal", "forward"):
+            raise ConfigurationError(
+                f"protocol must be 'steal' or 'forward', got {self.protocol!r}"
+            )
+        if self.forward_ttl < 0:
+            raise ConfigurationError(
+                f"forward_ttl must be >= 0, got {self.forward_ttl}"
+            )
+        if self.regions < 0:
+            raise ConfigurationError(
+                f"regions must be >= 0 (0 = off), got {self.regions}"
+            )
+        if self.region_attempts < 1:
+            raise ConfigurationError(
+                f"region_attempts must be >= 1, got {self.region_attempts}"
+            )
+        # Deferred import: the graph builders register themselves on
+        # import, and repro.protocol must stay importable from the
+        # worker modules this config layer knows nothing about.
+        from repro.protocol import graphs as _graphs  # noqa: F401
+
+        registry.resolve("lifeline_graph", self.lifeline_graph)
         if self.engine not in ("sequential", "sharded"):
             raise ConfigurationError(
                 f"engine must be 'sequential' or 'sharded', got {self.engine!r}"
@@ -247,12 +311,20 @@ class WorkStealingConfig:
         ``__post_init__`` guarantees every strategy field is resolved,
         so the ``.name`` attributes are always present (no ``assert``
         narrowing — asserts vanish under ``python -O``).
+
+        A non-default protocol configuration appends its canonical tag
+        (e.g. `` +fwd2+reg8``); the all-default case adds nothing, so
+        labels pinned before the protocol layer existed are unchanged.
         """
+        from repro.protocol.variants import protocol_tag
+
+        tag = protocol_tag(self)
+        suffix = f" +{tag}" if tag != "steal" else ""
         return (
             f"{self._strategy_name('selector')}/"
             f"{self._strategy_name('steal_policy')} "
             f"{self._strategy_name('allocation')} "
-            f"x{self.nranks} [{self.tree.name}]"
+            f"x{self.nranks} [{self.tree.name}]{suffix}"
         )
 
     def _strategy_name(self, field_name: str) -> str:
@@ -365,6 +437,11 @@ class WorkStealingConfig:
             "node_cap": self.node_cap,
             "lifelines": self.lifelines,
             "lifeline_threshold": self.lifeline_threshold,
+            "protocol": self.protocol,
+            "forward_ttl": self.forward_ttl,
+            "regions": self.regions,
+            "region_attempts": self.region_attempts,
+            "lifeline_graph": self.lifeline_graph,
             "engine": self.engine,
             "shards": self.shards,
             "shard_workers": self.shard_workers,
@@ -408,11 +485,17 @@ class WorkStealingConfig:
         the key of the :mod:`repro.exec` result cache and batch
         deduplication, and stripping keeps it byte-stable with the
         fingerprints of configs serialized before the fields existed.
+
+        Physics fields listed in :data:`FINGERPRINT_DEFAULT_ELIDED` are
+        dropped *only at their default values* — same backward
+        stability, but a non-default protocol configuration still
+        fingerprints distinctly.
         """
         data = {
             k: v
             for k, v in self.to_dict().items()
             if k not in FINGERPRINT_EXCLUDED_FIELDS
+            and FINGERPRINT_DEFAULT_ELIDED.get(k, _MISSING) != v
         }
         payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -18,10 +18,16 @@ from __future__ import annotations
 import hashlib
 import json
 
-from repro.core.config import FINGERPRINT_EXCLUDED_FIELDS, WorkStealingConfig
+from repro.core.config import (
+    FINGERPRINT_DEFAULT_ELIDED,
+    FINGERPRINT_EXCLUDED_FIELDS,
+    WorkStealingConfig,
+)
 from repro.errors import ConfigurationError
 
 __all__ = ["canonical_json", "config_fingerprint", "fingerprint_dict"]
+
+_MISSING = object()
 
 
 def canonical_json(data: dict) -> str:
@@ -34,17 +40,19 @@ def fingerprint_dict(data: dict) -> str:
 
     Observability-only fields (``event_trace`` and friends — see
     :data:`~repro.core.config.FINGERPRINT_EXCLUDED_FIELDS`) are
-    stripped before hashing so dict-built fingerprints agree with
+    stripped before hashing, and protocol-physics fields holding their
+    defaults (:data:`~repro.core.config.FINGERPRINT_DEFAULT_ELIDED`)
+    are elided, so dict-built fingerprints agree with
     ``cfg.fingerprint()`` and with caches written before those fields
     existed.  Callers holding raw user dicts should use
     :func:`config_fingerprint`, which normalises through
     :class:`WorkStealingConfig` first.
     """
-    if not FINGERPRINT_EXCLUDED_FIELDS.isdisjoint(data):
-        data = {
-            k: v for k, v in data.items()
-            if k not in FINGERPRINT_EXCLUDED_FIELDS
-        }
+    data = {
+        k: v for k, v in data.items()
+        if k not in FINGERPRINT_EXCLUDED_FIELDS
+        and FINGERPRINT_DEFAULT_ELIDED.get(k, _MISSING) != v
+    }
     return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
 
 

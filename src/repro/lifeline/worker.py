@@ -6,9 +6,10 @@ Protocol on top of the reference steal loop:
    configured) like the reference implementation.
 2. After ``threshold`` consecutive *failed* steals, instead of spinning
    further it **quiesces**: it arms its *lifelines* — a fixed set of
-   partner ranks forming a cyclic hypercube over the job — with a
-   :class:`~repro.sim.messages.LifelineRegister` message, and stops
-   sending steal requests.
+   partner ranks drawn from a configurable lifeline graph
+   (:mod:`repro.protocol.graphs`; the cyclic hypercube by default) —
+   with a :class:`~repro.sim.messages.LifelineRegister` message, and
+   stops sending steal requests.
 3. A partner that has stealable work at a poll boundary *pushes* a
    chunk allotment to each armed lifeline, waking it.
 4. A woken rank disarms its remaining lifelines
@@ -18,181 +19,89 @@ Protocol on top of the reference steal loop:
 Quiescent ranks are idle for the termination ring, so the token
 algorithm is unchanged; lifeline pushes are work messages and blacken
 the sender like steal responses do.
+
+The state machine itself lives in
+:class:`repro.protocol.StealProtocol` — every branch above is the
+``lifelines`` axis of the protocol layer.  :class:`LifelineWorker` is
+a configuration shell kept for its constructor surface and the
+``isinstance`` checks in the engine tests: it builds a lifeline-enabled
+:class:`~repro.protocol.ProtocolPlan` and exposes the lifeline state
+the tests read as views onto the protocol.
 """
 
 from __future__ import annotations
 
-from repro.sim.messages import (
-    TAG_LIFELINE_DEREGISTER,
-    TAG_LIFELINE_REGISTER,
-    TAG_STEAL_RESPONSE,
-    LifelineDeregister,
-    LifelineRegister,
-    StealResponse,
-)
-from repro.sim.worker import Worker, WorkerStatus
-from repro.trace.events import (
-    EV_LIFELINE_PUSH,
-    EV_LIFELINE_QUIESCE,
-    EV_LIFELINE_WAKE,
-    EV_PUSH_RECV,
-)
+from repro.protocol.core import ProtocolPlan
+from repro.protocol.graphs import hypercube_partners
+from repro.sim.worker import Worker
 
 __all__ = ["lifeline_partners", "LifelineWorker"]
 
 
 def lifeline_partners(rank: int, nranks: int, count: int) -> list[int]:
-    """Cyclic-hypercube lifeline graph: partners at power-of-two offsets.
+    """Cyclic-hypercube lifeline graph (the original hard-coded scheme).
 
-    Rank ``r`` links to ``(r + 2^i) mod N`` for ``i = 0, 1, ...`` —
-    the outgoing edges of a cyclic hypercube, at most ``count`` of
-    them.  Every rank is reachable from every other in ``O(log N)``
-    lifeline hops, the property the original paper relies on for
-    work to percolate to starving corners.
+    Kept as the historical name;
+    :func:`repro.protocol.graphs.hypercube_partners` is the registered
+    builder behind it.
     """
-    partners: list[int] = []
-    offset = 1
-    while len(partners) < count and offset < nranks:
-        partner = (rank + offset) % nranks
-        if partner != rank and partner not in partners:
-            partners.append(partner)
-        offset <<= 1
-    return partners
+    return hypercube_partners(rank, nranks, count)
 
 
 class LifelineWorker(Worker):
     """Reference worker + quiesce-and-wait lifelines."""
 
-    __slots__ = (
-        "lifeline_threshold",
-        "partners",
-        "_quiescent",
-        "_armed",
-        "waiters",
-        "lifeline_pushes",
-        "lifeline_wakeups",
-        "quiesce_episodes",
-    )
+    __slots__ = ()
 
     def __init__(
         self,
         *args,
         lifeline_count: int = 2,
         lifeline_threshold: int = 8,
+        lifeline_graph: str = "hypercube",
+        plan: ProtocolPlan | None = None,
         **kwargs,
     ):
-        super().__init__(*args, **kwargs)
-        self.lifeline_threshold = lifeline_threshold
-        self.partners = lifeline_partners(self.rank, self.nranks, lifeline_count)
-        self._quiescent = False
-        self._armed = False
-        #: Ranks whose lifeline to us is currently armed.
-        self.waiters: list[int] = []
-        # Extension statistics.
-        self.lifeline_pushes = 0
-        self.lifeline_wakeups = 0
-        self.quiesce_episodes = 0
-
-    # ------------------------------------------------------------------
-    # Message handling
-    # ------------------------------------------------------------------
-
-    def on_message(self, now: float, msg: object) -> None:
-        if self.status is WorkerStatus.DONE:
-            return
-        tag = getattr(msg, "tag", None)
-        if tag == TAG_LIFELINE_REGISTER:
-            if msg.thief not in self.waiters:
-                self.waiters.append(msg.thief)
-            return
-        if tag == TAG_LIFELINE_DEREGISTER:
-            if msg.thief in self.waiters:
-                self.waiters.remove(msg.thief)
-            return
-        if (
-            tag == TAG_STEAL_RESPONSE
-            and msg.has_work
-            and self.status is WorkerStatus.RUNNING
-        ):
-            # A lifeline push raced our own recovery: merge the work.
-            self.stack.receive_chunks(msg.chunks)
-            self.chunks_received += len(msg.chunks)
-            self.nodes_received += msg.nodes
-            if self.events is not None:
-                self.events.append(now, EV_PUSH_RECV, msg.victim, msg.nodes)
-            return
-        super().on_message(now, msg)
-
-    # ------------------------------------------------------------------
-    # Quiescence
-    # ------------------------------------------------------------------
-
-    def _on_response(self, now: float, msg: StealResponse) -> None:
-        if msg.has_work:
-            if self._armed:
-                self._disarm(now)
-                self.lifeline_wakeups += 1
-                if self.events is not None:
-                    self.events.append(now, EV_LIFELINE_WAKE, msg.victim)
-            super()._on_response(now, msg)
-            return
-        # Shares the base worker's failure accounting (counter, trace
-        # event, selector notify); only the spin-vs-quiesce decision is
-        # lifeline-specific.
-        self._steal_failed(now, msg.victim)
-        if self.consecutive_failed_steals >= self.lifeline_threshold:
-            if not self._quiescent:
-                self._quiesce(now)
-            # Quiescent: no further requests; wait for a push or Finish.
-        else:
-            self._send_steal_request(now)
-
-    def _quiesce(self, now: float) -> None:
-        self._quiescent = True
-        self._armed = True
-        self.quiesce_episodes += 1
-        if self.events is not None:
-            self.events.append(now, EV_LIFELINE_QUIESCE)
-        for partner in self.partners:
-            self.transport.send(
-                self.rank, partner, LifelineRegister(self.rank), now
+        if plan is None:
+            plan = ProtocolPlan(
+                lifeline_count=lifeline_count,
+                lifeline_threshold=lifeline_threshold,
+                lifeline_graph=lifeline_graph,
             )
-
-    def _disarm(self, now: float) -> None:
-        self._armed = False
-        self._quiescent = False
-        self.consecutive_failed_steals = 0
-        for partner in self.partners:
-            self.transport.send(
-                self.rank, partner, LifelineDeregister(self.rank), now
-            )
+        super().__init__(*args, plan=plan, **kwargs)
 
     # ------------------------------------------------------------------
-    # Pushing work to armed lifelines
+    # Lifeline-state views (read-only; the protocol owns the state)
     # ------------------------------------------------------------------
 
-    def _serve_pending(self, now: float) -> float:
-        t = super()._serve_pending(now)
-        while self.waiters and self.stack.stealable_chunks > 0:
-            thief = self.waiters.pop(0)
-            # A quiesced waiter is starving by definition: grant it the
-            # escalated amount (a no-op for static policies).
-            take = self.policy.chunks_for_request(
-                self.stack.stealable_chunks, escalated=True
-            )
-            if take == 0:
-                break
-            t += self.steal_service_time
-            self.service_time += self.steal_service_time
-            chunks = self.stack.steal_chunks(take)
-            nodes = sum(c.size for c in chunks)
-            self.chunks_sent += len(chunks)
-            self.nodes_sent += nodes
-            self.lifeline_pushes += 1
-            if self.events is not None:
-                self.events.append(t, EV_LIFELINE_PUSH, thief, nodes)
-            self.transport.work_sent(self.rank)
-            self.transport.send(
-                self.rank, thief, StealResponse(self.rank, chunks), t
-            )
-        return t
+    @property
+    def lifeline_threshold(self) -> int:
+        return self.protocol.lifeline_threshold
+
+    @property
+    def partners(self) -> list[int]:
+        return self.protocol.partners
+
+    @property
+    def waiters(self) -> list[int]:
+        return self.protocol.waiters
+
+    @property
+    def lifeline_pushes(self) -> int:
+        return self.protocol.lifeline_pushes
+
+    @property
+    def lifeline_wakeups(self) -> int:
+        return self.protocol.lifeline_wakeups
+
+    @property
+    def quiesce_episodes(self) -> int:
+        return self.protocol.quiesce_episodes
+
+    @property
+    def _quiescent(self) -> bool:
+        return self.protocol._quiescent
+
+    @property
+    def _armed(self) -> bool:
+        return self.protocol._armed

@@ -46,7 +46,60 @@ __all__ = [
     "Placement",
     "build_placement",
     "allocation_by_name",
+    "aligned_block_bounds",
 ]
+
+
+def aligned_block_bounds(
+    nranks: int, nblocks: int, rank_nodes
+) -> tuple[list[int], bool]:
+    """Contiguous rank-block boundaries, snapped to node boundaries.
+
+    Returns ``(bounds, aligned)`` with ``bounds[s]..bounds[s+1]`` the
+    rank range of block ``s``.  Each ideal cut ``s * nranks / nblocks``
+    is moved down to the nearest index where the hosting node changes,
+    so no compute node spans two blocks and cross-block traffic is
+    guaranteed cross-node.  If a cut cannot be node-aligned (e.g. a
+    randomised allocation interleaves nodes arbitrarily), the ideal
+    cuts are kept and ``aligned`` is False.
+
+    Both the sharded engine (:func:`repro.sim.shard.shard_bounds`) and
+    the locality regions of the steal-protocol layer
+    (:class:`repro.protocol.regions.RegionMap`) partition the rank
+    space through this one function, which is what keeps protocol
+    regions aligned with the allocation's node blocks.
+    """
+    nblocks = max(1, min(nblocks, nranks))
+    ideal = [(s * nranks) // nblocks for s in range(nblocks + 1)]
+    if nblocks == 1:
+        return ideal, True
+    snapped = [0]
+    for cut in ideal[1:-1]:
+        j = cut
+        while j > snapped[-1] and rank_nodes[j] == rank_nodes[j - 1]:
+            j -= 1
+        if j > snapped[-1]:
+            snapped.append(j)
+    snapped.append(nranks)
+    if len(snapped) == nblocks + 1:
+        # A run boundary is not enough: interleaved allocations (e.g.
+        # round-robin [0,1,0,1,...]) change node at every rank while
+        # every node still spans every block.  Alignment requires each
+        # node's ranks to land entirely inside one block.
+        shard_of: dict = {}
+        s = 0
+        aligned = True
+        for r in range(nranks):
+            while r >= snapped[s + 1]:
+                s += 1
+            node = rank_nodes[r]
+            prev = shard_of.setdefault(node, s)
+            if prev != s:
+                aligned = False
+                break
+        if aligned:
+            return snapped, True
+    return ideal, False
 
 
 class ProcessAllocation(ABC):

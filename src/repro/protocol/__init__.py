@@ -1,0 +1,54 @@
+"""The composable steal-protocol layer.
+
+The execution core (:class:`repro.sim.worker.Worker`) runs quanta and
+keeps the clock; everything about *finding and moving work* — the idle
+transition, victim draws, request/response/forward/push handling,
+session accounting and the termination handshake — lives in
+:class:`~repro.protocol.core.StealProtocol`, configured per run by an
+immutable :class:`~repro.protocol.core.ProtocolPlan`.
+
+On that seam three protocol features compose (with each other and with
+every victim selector):
+
+* **Forwarding** (``protocol="forward"``): a victim with nothing to
+  give relays the request toward work — TTL-bounded, cycle-free via a
+  visited set on the message — and the eventual server responds
+  straight to the originator (the Project Picasso idiom).
+* **Locality regions** (``regions=R``): victim draws try the rank's
+  own allocation-aligned region first and escalate outward after
+  ``region_attempts`` misses (localized stealing, arXiv:1804.04773).
+* **Lifeline graphs** (``lifelines=K, lifeline_graph=G``): the
+  quiesce-and-push scheme over a configurable partner graph
+  (:mod:`repro.protocol.graphs`) instead of the hard-coded hypercube.
+
+All knobs are physics: they participate in result fingerprints (with
+default elision, so pre-existing fingerprints are unchanged) and hold
+the engine bit-identity contract — see ``DESIGN.md``.
+"""
+
+from repro.protocol.core import ProtocolPlan, StealProtocol
+from repro.protocol.factory import build_plan, make_worker
+from repro.protocol.graphs import (
+    SYMMETRIC_GRAPHS,
+    hypercube_partners,
+    random_partners,
+    regtree_partners,
+    ring_partners,
+)
+from repro.protocol.regions import RegionMap
+from repro.protocol.variants import protocol_overrides, protocol_tag
+
+__all__ = [
+    "ProtocolPlan",
+    "StealProtocol",
+    "build_plan",
+    "make_worker",
+    "RegionMap",
+    "hypercube_partners",
+    "ring_partners",
+    "random_partners",
+    "regtree_partners",
+    "SYMMETRIC_GRAPHS",
+    "protocol_overrides",
+    "protocol_tag",
+]

@@ -1,0 +1,80 @@
+"""Build protocol plans and workers from a config.
+
+The sequential engine (:class:`repro.sim.cluster.Cluster`) and every
+shard of the sharded engine (:class:`repro.sim.shard._Shard`) used to
+carry copies of the same worker-construction loop; both now call
+:func:`build_plan` once per run and :func:`make_worker` once per rank,
+so a protocol knob added to the config is automatically honoured by
+every engine — the precondition for the bit-identity contract.
+
+Worker classes are imported lazily inside :func:`make_worker`:
+``repro.protocol`` must stay importable from ``repro.sim.worker``
+(which the workers' own modules import), so this module cannot import
+them at module level.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.core import ProtocolPlan
+from repro.protocol.regions import RegionMap
+
+__all__ = ["build_plan", "make_worker"]
+
+
+def build_plan(config, placement) -> ProtocolPlan:
+    """The run-wide :class:`ProtocolPlan` of ``config`` on ``placement``."""
+    regions = (
+        RegionMap.build(config.nranks, config.regions, placement.rank_nodes)
+        if config.regions > 0 and config.nranks > 1
+        else None
+    )
+    return ProtocolPlan(
+        forward=config.protocol == "forward",
+        forward_ttl=config.forward_ttl,
+        regions=regions,
+        region_attempts=config.region_attempts,
+        lifeline_count=config.lifelines,
+        lifeline_threshold=config.lifeline_threshold,
+        lifeline_graph=config.lifeline_graph,
+        seed=config.seed,
+    )
+
+
+def make_worker(
+    rank: int,
+    config,
+    placement,
+    plan: ProtocolPlan,
+    generator,
+    transport,
+    trace=None,
+    events=None,
+):
+    """Construct the rank's worker (lifeline composition included)."""
+    from repro.sim.worker import Worker
+
+    selector = (
+        config.selector.make(rank, config.nranks, placement, seed=config.seed)
+        if config.nranks > 1
+        else None
+    )
+    kwargs = dict(
+        rank=rank,
+        nranks=config.nranks,
+        generator=generator,
+        selector=selector,
+        policy=config.steal_policy,
+        transport=transport,
+        chunk_size=config.chunk_size,
+        poll_interval=config.poll_interval,
+        per_node_time=config.per_node_time,
+        steal_service_time=config.steal_service_time,
+        trace=trace,
+        events=events,
+        plan=plan,
+    )
+    if config.lifelines > 0:
+        from repro.lifeline.worker import LifelineWorker
+
+        return LifelineWorker(**kwargs)
+    return Worker(**kwargs)

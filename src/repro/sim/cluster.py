@@ -21,6 +21,7 @@ from repro.core.tracing import TraceRecorder
 from repro.errors import SimulationError, TerminationError
 from repro.net.allocation import Placement, build_placement
 from repro.net.contention import NicContention
+from repro.protocol.factory import build_plan, make_worker
 from repro.sim.clock import ClockSkewModel
 from repro.sim.engine import EVT_EXEC, EVT_MSG, EventQueue
 from repro.sim.messages import (
@@ -100,26 +101,15 @@ class Cluster:
         generator = TreeGenerator(config.tree, config.rng_backend)
         assert not isinstance(config.selector, str)
         assert not isinstance(config.steal_policy, str)
-        self.workers = []
-        for rank in range(config.nranks):
-            selector = (
-                config.selector.make(
-                    rank, config.nranks, self.placement, seed=config.seed
-                )
-                if config.nranks > 1
-                else None
-            )
-            worker_kwargs = dict(
-                rank=rank,
-                nranks=config.nranks,
-                generator=generator,
-                selector=selector,
-                policy=config.steal_policy,
+        plan = build_plan(config, self.placement)
+        self.workers = [
+            make_worker(
+                rank,
+                config,
+                self.placement,
+                plan,
+                generator,
                 transport=self,
-                chunk_size=config.chunk_size,
-                poll_interval=config.poll_interval,
-                per_node_time=config.per_node_time,
-                steal_service_time=config.steal_service_time,
                 trace=self.recorders[rank] if self.recorders else None,
                 events=(
                     self.event_recorders[rank]
@@ -127,19 +117,8 @@ class Cluster:
                     else None
                 ),
             )
-            if config.lifelines > 0:
-                # Deferred import: repro.lifeline depends on sim.worker.
-                from repro.lifeline.worker import LifelineWorker
-
-                self.workers.append(
-                    LifelineWorker(
-                        lifeline_count=config.lifelines,
-                        lifeline_threshold=config.lifeline_threshold,
-                        **worker_kwargs,
-                    )
-                )
-            else:
-                self.workers.append(Worker(**worker_kwargs))
+            for rank in range(config.nranks)
+        ]
 
         self._finishing = False
         self._messages_dropped = 0

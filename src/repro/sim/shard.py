@@ -103,8 +103,9 @@ from bisect import bisect_right
 from repro.core.config import WorkStealingConfig
 from repro.core.tracing import TraceRecorder
 from repro.errors import ConfigurationError, SimulationError, TerminationError
-from repro.net.allocation import build_placement
+from repro.net.allocation import aligned_block_bounds, build_placement
 from repro.net.pairwise import PairwiseMetric
+from repro.protocol.factory import build_plan, make_worker
 from repro.sim.clock import ClockSkewModel
 from repro.sim.cluster import SimOutcome
 from repro.sim.engine import DEFAULT_MAX_EVENTS, EVT_EXEC, EVT_MSG
@@ -172,38 +173,13 @@ def shard_bounds(
     randomised allocation interleaves nodes arbitrarily), the ideal
     cuts are kept and ``aligned`` is False — the caller must then use
     the narrower any-pair latency bound as its lookahead.
+
+    The partition itself is :func:`repro.net.allocation.
+    aligned_block_bounds` — the same geometry the protocol layer's
+    locality regions use, kept in one place so "one region" and "one
+    shard" can mean the same rank block.
     """
-    nshards = max(1, min(nshards, nranks))
-    ideal = [(s * nranks) // nshards for s in range(nshards + 1)]
-    if nshards == 1:
-        return ideal, True
-    snapped = [0]
-    for cut in ideal[1:-1]:
-        j = cut
-        while j > snapped[-1] and rank_nodes[j] == rank_nodes[j - 1]:
-            j -= 1
-        if j > snapped[-1]:
-            snapped.append(j)
-    snapped.append(nranks)
-    if len(snapped) == nshards + 1:
-        # A run boundary is not enough: interleaved allocations (e.g.
-        # round-robin [0,1,0,1,...]) change node at every rank while
-        # every node still spans every shard.  Alignment requires each
-        # node's ranks to land entirely inside one shard.
-        shard_of: dict = {}
-        s = 0
-        aligned = True
-        for r in range(nranks):
-            while r >= snapped[s + 1]:
-                s += 1
-            node = rank_nodes[r]
-            prev = shard_of.setdefault(node, s)
-            if prev != s:
-                aligned = False
-                break
-        if aligned:
-            return snapped, True
-    return ideal, False
+    return aligned_block_bounds(nranks, nshards, rank_nodes)
 
 
 class _WorkerSnapshot:
@@ -223,6 +199,8 @@ class _WorkerSnapshot:
         "successful_steals",
         "requests_served",
         "requests_denied",
+        "requests_forwarded",
+        "forwards_served",
         "chunks_sent",
         "nodes_sent",
         "chunks_received",
@@ -243,6 +221,8 @@ class _WorkerSnapshot:
         self.successful_steals = worker.successful_steals
         self.requests_served = worker.requests_served
         self.requests_denied = worker.requests_denied
+        self.requests_forwarded = worker.requests_forwarded
+        self.forwards_served = worker.forwards_served
         self.chunks_sent = worker.chunks_sent
         self.nodes_sent = worker.nodes_sent
         self.chunks_received = worker.chunks_received
@@ -332,41 +312,22 @@ class _Shard:
 
         self.recorders = recorders
         self.event_recorders = event_recorders
-        self.workers: list[Worker] = []
-        for rank in range(self.lo, self.hi):
-            selector = (
-                config.selector.make(
-                    rank, config.nranks, placement, seed=config.seed
-                )
-                if config.nranks > 1
-                else None
-            )
-            worker_kwargs = dict(
-                rank=rank,
-                nranks=config.nranks,
-                generator=generator,
-                selector=selector,
-                policy=config.steal_policy,
+        # Same factory (and thus the same ProtocolPlan values) as the
+        # sequential engine — the construction half of bit-identity.
+        plan = build_plan(config, placement)
+        self.workers: list[Worker] = [
+            make_worker(
+                rank,
+                config,
+                placement,
+                plan,
+                generator,
                 transport=self,
-                chunk_size=config.chunk_size,
-                poll_interval=config.poll_interval,
-                per_node_time=config.per_node_time,
-                steal_service_time=config.steal_service_time,
                 trace=recorders[rank] if recorders else None,
                 events=event_recorders[rank] if event_recorders else None,
             )
-            if config.lifelines > 0:
-                from repro.lifeline.worker import LifelineWorker
-
-                self.workers.append(
-                    LifelineWorker(
-                        lifeline_count=config.lifelines,
-                        lifeline_threshold=config.lifeline_threshold,
-                        **worker_kwargs,
-                    )
-                )
-            else:
-                self.workers.append(Worker(**worker_kwargs))
+            for rank in range(self.lo, self.hi)
+        ]
 
     # ------------------------------------------------------------------
     # Transport interface (used by workers)

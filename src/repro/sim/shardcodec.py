@@ -48,12 +48,14 @@ from repro.sim.messages import (
     TAG_FINISH,
     TAG_LIFELINE_DEREGISTER,
     TAG_LIFELINE_REGISTER,
+    TAG_STEAL_FORWARD,
     TAG_STEAL_REQUEST,
     TAG_STEAL_RESPONSE,
     TAG_TOKEN,
     Finish,
     LifelineDeregister,
     LifelineRegister,
+    StealForward,
     StealRequest,
     StealResponse,
     Token,
@@ -152,6 +154,15 @@ def encode_entries(entries: list) -> bytes:
             pass
         elif tag == TAG_LIFELINE_REGISTER or tag == TAG_LIFELINE_DEREGISTER:
             a = payload.thief
+        elif tag == TAG_STEAL_FORWARD:
+            # ttl and the escalated bit pack into ``b``; the visited
+            # tuple rides the pickled extra section, indexed through
+            # ``nchunks`` (which only steal responses use for chunk
+            # consumption, so the reuse is unambiguous).
+            a = payload.thief
+            b = (payload.ttl << 1) | (1 if payload.escalated else 0)
+            nchunks = len(extra)
+            extra.append(list(payload.visited))
         else:
             tag = TAG_RAW
             a = len(extra)
@@ -237,6 +248,8 @@ def decode_entries(blob: bytes) -> list:
             payload = LifelineRegister(a)
         elif tag == TAG_LIFELINE_DEREGISTER:
             payload = LifelineDeregister(a)
+        elif tag == TAG_STEAL_FORWARD:
+            payload = StealForward(a, bool(b & 1), b >> 1, tuple(extra[nchunks]))
         elif tag == TAG_RAW:
             payload = extra[a]
         else:  # pragma: no cover - wire guard

@@ -1,4 +1,4 @@
-"""Per-rank state machine of the simulated work-stealing scheduler.
+"""Per-rank execution core of the simulated work-stealing scheduler.
 
 Faithful port of the reference ``mpi_workstealing.c`` behaviour the
 paper studies (§II-A, Algorithm 1):
@@ -13,6 +13,14 @@ paper studies (§II-A, Algorithm 1):
   selector proposes victims one at a time, one outstanding request per
   thief, until work arrives or the termination ring fires.
 
+The worker owns only *execution*: the stack, quantum expansion
+(``on_exec``/``run_quanta``), the activity trace and the clock
+plumbing.  Everything about finding and moving work — the idle
+transition, victim draws, every protocol message, session accounting —
+lives in the composed :class:`repro.protocol.StealProtocol`; the
+steal counters tests and results read off the worker are read-only
+views onto it.
+
 A worker never touches the event queue or other workers directly; it
 talks to the cluster through a small transport interface
 (:class:`Transport`), which keeps the state machine unit-testable.
@@ -20,45 +28,25 @@ talks to the cluster through a small transport interface
 
 from __future__ import annotations
 
-from enum import IntEnum
 from typing import Protocol
 
 import numpy as np
 
-from repro.core.sessions import Session
 from repro.core.steal_policy import StealPolicy
 from repro.core.tracing import TraceRecorder
 from repro.core.victim import VictimSelector
 from repro.errors import SimulationError
-from repro.sim.messages import (
-    TAG_FINISH,
-    TAG_STEAL_REQUEST,
-    TAG_STEAL_RESPONSE,
-    StealRequest,
-    StealResponse,
-)
-from repro.trace.events import (
-    EV_DENY,
-    EV_FINISH,
-    EV_SERVE,
-    EV_STEAL_FAIL,
-    EV_STEAL_OK,
-    EV_STEAL_SENT,
-    EV_VICTIM_DRAW,
-    EventRecorder,
-)
+from repro.protocol.core import ProtocolPlan, StealProtocol
+from repro.protocol.status import WorkerStatus
+from repro.trace.events import EventRecorder
 from repro.uts.stack import ChunkedStack
 from repro.uts.tree import SCALAR_BATCH_CUTOFF, TreeGenerator
 
 __all__ = ["WorkerStatus", "Transport", "Worker"]
 
-
-class WorkerStatus(IntEnum):
-    """Lifecycle of a rank."""
-
-    RUNNING = 0  # has work; an EXEC event is outstanding
-    WAITING = 1  # empty stack; one steal request outstanding
-    DONE = 2  # received the termination broadcast
+#: Plan used when a worker is constructed without one (unit tests,
+#: single-purpose harnesses): baseline request/response stealing.
+_DEFAULT_PLAN = ProtocolPlan()
 
 
 class Transport(Protocol):
@@ -81,7 +69,7 @@ class Transport(Protocol):
 
 
 class Worker:
-    """One simulated MPI rank."""
+    """One simulated MPI rank (execution core + composed protocol)."""
 
     __slots__ = (
         "rank",
@@ -95,26 +83,12 @@ class Worker:
         "steal_service_time",
         "stack",
         "status",
-        "pending",
         "trace",
         "events",
         "nodes_processed",
-        "steal_requests_sent",
-        "consecutive_failed_steals",
-        "_escalate_after",
-        "failed_steals",
-        "successful_steals",
-        "requests_served",
-        "requests_denied",
-        "chunks_sent",
-        "nodes_sent",
-        "chunks_received",
-        "nodes_received",
-        "service_time",
         "finish_time",
-        "sessions",
-        "_session_start",
-        "_session_attempts",
+        "protocol",
+        "pending",
         "_scalar_path",
         "_notify_nodes",
         "_pop_list",
@@ -123,6 +97,7 @@ class Worker:
         "_fused_expand",
         "_schedule_exec",
         "_plain_serve",
+        "_serve",
     )
 
     def __init__(
@@ -139,6 +114,7 @@ class Worker:
         steal_service_time: float,
         trace: TraceRecorder | None = None,
         events: EventRecorder | None = None,
+        plan: ProtocolPlan | None = None,
     ):
         if nranks > 1 and selector is None:
             raise SimulationError("multi-rank worker needs a victim selector")
@@ -154,35 +130,28 @@ class Worker:
 
         self.stack = ChunkedStack(chunk_size)
         self.status = WorkerStatus.RUNNING  # resolved properly in start()
-        self.pending: list[StealRequest] = []
         self.trace = trace
         # Structured steal-event sink (repro.trace); None when event
         # tracing is off, so every hook is one load + one None test on
         # steal edges only — the EXEC expansion path never sees it.
         self.events = events
 
-        # Counters surfaced by RunResult.
         self.nodes_processed = 0
-        self.steal_requests_sent = 0
-        self.failed_steals = 0
-        # Thief-side failure streak, reset on success or on regaining
-        # work.  Drives steal-amount escalation when the (stateless,
-        # process-shared) policy advertises an ``escalate_after``.
-        self.consecutive_failed_steals = 0
-        self._escalate_after = getattr(policy, "escalate_after", None)
-        self.successful_steals = 0
-        self.requests_served = 0
-        self.requests_denied = 0
-        self.chunks_sent = 0
-        self.nodes_sent = 0
-        self.chunks_received = 0
-        self.nodes_received = 0
-        self.service_time = 0.0
         self.finish_time: float | None = None
 
-        self.sessions: list[Session] = []
-        self._session_start: float | None = None
-        self._session_attempts = 0
+        # The steal lifecycle lives in the protocol layer; the worker
+        # aliases the two pieces the engines' fast paths reason about.
+        self.protocol = protocol = StealProtocol(
+            self, plan if plan is not None else _DEFAULT_PLAN
+        )
+        #: Queued steal requests (the protocol's own list object; it is
+        #: mutated in place, never rebound, so the alias stays live).
+        self.pending = protocol.pending
+        # Plain-serving protocols do nothing at a poll boundary with an
+        # empty queue; the engines skip the call (and burst through
+        # quanta) only then.
+        self._plain_serve = protocol.plain_serve
+        self._serve = protocol.serve_pending
 
         # Hot-path plumbing.  The list-based expansion avoids ndarray
         # traffic on the tiny per-quantum batches the simulator runs
@@ -202,10 +171,6 @@ class Worker:
         self._children_list = generator.children_list
         self._fused_expand = self.stack.expand_quantum
         self._schedule_exec = transport.schedule_exec
-        # Subclasses that override _serve_pending (lifelines) do work
-        # even with no pending requests, so only plain workers may
-        # skip the call when the queue is empty.
-        self._plain_serve = type(self)._serve_pending is Worker._serve_pending
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -238,7 +203,7 @@ class Worker:
         if self._plain_serve and not self.pending:
             t = now
         else:
-            t = self._serve_pending(now)
+            t = self._serve(now)
         if self.stack._chunks:
             if self._scalar_path:
                 # Fused quantum on the scalar fast path — identical
@@ -311,70 +276,11 @@ class Worker:
 
     def on_message(self, now: float, msg: object) -> None:
         """A message arrived at this rank at (true) time ``now``."""
-        if self.status is WorkerStatus.DONE:
-            return  # post-termination stragglers are dropped
-        tag = getattr(msg, "tag", None)
-        if tag == TAG_STEAL_REQUEST:
-            if self.status is WorkerStatus.RUNNING:
-                self.pending.append(msg)
-            else:
-                # Idle ranks have nothing to give; deny immediately.
-                self.requests_denied += 1
-                if self.events is not None:
-                    self.events.append(now, EV_DENY, msg.thief)
-                self.transport.send(
-                    self.rank, msg.thief, StealResponse(self.rank, None), now
-                )
-        elif tag == TAG_STEAL_RESPONSE:
-            self._on_response(now, msg)
-        elif tag == TAG_FINISH:
-            self._on_finish(now)
-        else:
-            raise SimulationError(
-                f"rank {self.rank}: unexpected message {msg!r}"
-            )
+        self.protocol.on_message(now, msg)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-
-    def _serve_pending(self, now: float) -> float:
-        """Answer queued steal requests; returns the advanced local time."""
-        t = now
-        if not self.pending:
-            return t
-        ev = self.events
-        for req in self.pending:
-            stealable = self.stack.stealable_chunks
-            take = (
-                self.policy.chunks_for_request(stealable, req.escalated)
-                if stealable
-                else 0
-            )
-            if take > 0:
-                # Packaging work costs the victim compute time.
-                t += self.steal_service_time
-                self.service_time += self.steal_service_time
-                chunks = self.stack.steal_chunks(take)
-                nodes = sum(c.size for c in chunks)
-                self.requests_served += 1
-                self.chunks_sent += len(chunks)
-                self.nodes_sent += nodes
-                if ev is not None:
-                    ev.append(t, EV_SERVE, req.thief, nodes)
-                self.transport.work_sent(self.rank)
-                self.transport.send(
-                    self.rank, req.thief, StealResponse(self.rank, chunks), t
-                )
-            else:
-                self.requests_denied += 1
-                if ev is not None:
-                    ev.append(t, EV_DENY, req.thief)
-                self.transport.send(
-                    self.rank, req.thief, StealResponse(self.rank, None), t
-                )
-        self.pending.clear()
-        return t
 
     def _expand_quantum(self) -> float:
         """Expand up to ``poll_interval`` nodes; return the time spent.
@@ -410,103 +316,12 @@ class Worker:
         # trace stays empty until they first receive work.
         if self._was_active():
             self._record(t, active=False)
-        self.consecutive_failed_steals = 0
-        self.status = WorkerStatus.WAITING
-        self._session_start = t
-        self._session_attempts = 0
-        self.transport.rank_became_idle(self.rank, t)
-        if self.nranks > 1:
-            self._send_steal_request(t)
-        # nranks == 1: termination fires via rank_became_idle.
+        self.protocol.on_idle(t)
 
     def _was_active(self) -> bool:
         return self.trace is None or (
             len(self.trace.states) > 0 and self.trace.states[-1]
         )
-
-    def _send_steal_request(self, t: float) -> None:
-        assert self.selector is not None
-        victim = self.selector.next_victim()
-        self.steal_requests_sent += 1
-        self._session_attempts += 1
-        escalated = (
-            self._escalate_after is not None
-            and self.consecutive_failed_steals >= self._escalate_after
-        )
-        ev = self.events
-        if ev is not None:
-            ev.append(t, EV_VICTIM_DRAW, victim, self._session_attempts)
-            ev.append(t, EV_STEAL_SENT, victim, int(escalated))
-        self.transport.send(
-            self.rank, victim, StealRequest(self.rank, escalated), t
-        )
-
-    def _on_response(self, now: float, msg: StealResponse) -> None:
-        if self.status is not WorkerStatus.WAITING:
-            raise SimulationError(
-                f"rank {self.rank}: steal response while {self.status.name}"
-            )
-        if msg.has_work:
-            assert msg.chunks is not None
-            received = self.stack.receive_chunks(msg.chunks)
-            self.successful_steals += 1
-            self.chunks_received += len(msg.chunks)
-            self.nodes_received += received
-            if self.events is not None:
-                self.events.append(now, EV_STEAL_OK, msg.victim, received)
-            if self.selector is not None:
-                self.selector.notify(msg.victim, success=True)
-            self.consecutive_failed_steals = 0
-            self._close_session(now, found_work=True)
-            self._record(now, active=True)
-            self.status = WorkerStatus.RUNNING
-            self.transport.schedule_exec(self.rank, now)
-        else:
-            self._steal_failed(now, msg.victim)
-            self._send_steal_request(now)
-
-    def _steal_failed(self, now: float, victim: int) -> None:
-        """Single accounting point for every failed-steal reply.
-
-        All failure paths — the plain resend loop and the lifeline
-        quiesce path — must route through here so the counters, the
-        EV_STEAL_FAIL trace stream and the selector's
-        ``notify(success=False)`` feedback can never diverge (the
-        reconciliation test in ``tests/sim`` pins the three together).
-        """
-        self.failed_steals += 1
-        self.consecutive_failed_steals += 1
-        if self.events is not None:
-            self.events.append(now, EV_STEAL_FAIL, victim)
-        if self.selector is not None:
-            self.selector.notify(victim, success=False)
-
-    def _on_finish(self, now: float) -> None:
-        if self.status is WorkerStatus.RUNNING or not self.stack.is_empty:
-            raise SimulationError(
-                f"rank {self.rank}: Finish while holding work "
-                "(termination detected too early)"
-            )
-        if self._session_start is not None:
-            self._close_session(now, found_work=False)
-        if self.events is not None:
-            self.events.append(now, EV_FINISH)
-        self.status = WorkerStatus.DONE
-        self.finish_time = now
-
-    def _close_session(self, end: float, found_work: bool) -> None:
-        assert self._session_start is not None
-        self.sessions.append(
-            Session(
-                rank=self.rank,
-                start=self._session_start,
-                end=end,
-                found_work=found_work,
-                attempts=self._session_attempts,
-            )
-        )
-        self._session_start = None
-        self._session_attempts = 0
 
     def _record(self, true_time: float, active: bool) -> None:
         if self.trace is not None:
@@ -515,11 +330,69 @@ class Worker:
             )
 
     # ------------------------------------------------------------------
+    # Protocol views (read-only; the protocol owns the state)
+    # ------------------------------------------------------------------
+
+    @property
+    def sessions(self):
+        return self.protocol.sessions
 
     @property
     def search_time(self) -> float:
         """Total time this rank spent in work-discovery sessions."""
-        return sum(s.duration for s in self.sessions)
+        return self.protocol.search_time
+
+    @property
+    def steal_requests_sent(self) -> int:
+        return self.protocol.steal_requests_sent
+
+    @property
+    def consecutive_failed_steals(self) -> int:
+        return self.protocol.consecutive_failed_steals
+
+    @property
+    def failed_steals(self) -> int:
+        return self.protocol.failed_steals
+
+    @property
+    def successful_steals(self) -> int:
+        return self.protocol.successful_steals
+
+    @property
+    def requests_served(self) -> int:
+        return self.protocol.requests_served
+
+    @property
+    def requests_denied(self) -> int:
+        return self.protocol.requests_denied
+
+    @property
+    def requests_forwarded(self) -> int:
+        return self.protocol.requests_forwarded
+
+    @property
+    def forwards_served(self) -> int:
+        return self.protocol.forwards_served
+
+    @property
+    def chunks_sent(self) -> int:
+        return self.protocol.chunks_sent
+
+    @property
+    def nodes_sent(self) -> int:
+        return self.protocol.nodes_sent
+
+    @property
+    def chunks_received(self) -> int:
+        return self.protocol.chunks_received
+
+    @property
+    def nodes_received(self) -> int:
+        return self.protocol.nodes_received
+
+    @property
+    def service_time(self) -> float:
+        return self.protocol.service_time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

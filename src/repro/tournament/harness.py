@@ -31,6 +31,7 @@ from repro.core.config import WorkStealingConfig
 from repro.exec.cache import ResultCache
 from repro.exec.fingerprint import canonical_json
 from repro.exec.pool import WorkerPool, run_many
+from repro.protocol.variants import protocol_overrides, protocol_tag
 from repro.ws.results import RunResult
 
 __all__ = [
@@ -61,6 +62,10 @@ class TournamentSpec:
     selectors: tuple[str, ...]
     steal_policies: tuple[str, ...] = ("one",)
     allocations: tuple[str, ...] = ("1/N",)
+    #: Protocol-variant specs (:mod:`repro.protocol.variants` grammar:
+    #: ``"steal"``, ``"forward[3]"``, ``"regions[8]+lifelines[2]"``...),
+    #: the innermost grid axis.
+    protocols: tuple[str, ...] = ("steal",)
     seed: int = 0
     #: Apply the benchmark :class:`~repro.bench.experiments.Calibration`
     #: (hierarchical latency, NIC cost); plain defaults otherwise.
@@ -72,27 +77,31 @@ class TournamentSpec:
         for selector in self.selectors:
             for policy in self.steal_policies:
                 for allocation in self.allocations:
-                    if self.calibrated:
-                        cfg = experiment_config(
-                            self.tree,
-                            self.nranks,
-                            allocation=allocation,
-                            selector=selector,
-                            steal_policy=policy,
-                            seed=self.seed,
-                            trace=True,
-                        )
-                    else:
-                        cfg = WorkStealingConfig(
-                            tree=self.tree,
-                            nranks=self.nranks,
-                            allocation=allocation,
-                            selector=selector,
-                            steal_policy=policy,
-                            seed=self.seed,
-                            trace=True,
-                        )
-                    out.append(cfg)
+                    for protocol in self.protocols:
+                        extra = protocol_overrides(protocol)
+                        if self.calibrated:
+                            cfg = experiment_config(
+                                self.tree,
+                                self.nranks,
+                                allocation=allocation,
+                                selector=selector,
+                                steal_policy=policy,
+                                seed=self.seed,
+                                trace=True,
+                                **extra,
+                            )
+                        else:
+                            cfg = WorkStealingConfig(
+                                tree=self.tree,
+                                nranks=self.nranks,
+                                allocation=allocation,
+                                selector=selector,
+                                steal_policy=policy,
+                                seed=self.seed,
+                                trace=True,
+                                **extra,
+                            )
+                        out.append(cfg)
         return out
 
 
@@ -107,6 +116,7 @@ def _score(cfg: WorkStealingConfig, result: RunResult) -> dict:
         "selector": result.selector,
         "steal_policy": result.steal_policy,
         "allocation": result.allocation,
+        "protocol": protocol_tag(cfg),
         "tree": result.tree_name,
         "nranks": result.nranks,
         "makespan": result.total_time,
@@ -128,6 +138,7 @@ _MD_COLUMNS = (
     ("selector", "selector"),
     ("steal_policy", "policy"),
     ("allocation", "alloc"),
+    ("protocol", "protocol"),
     ("makespan", "makespan [s]"),
     ("efficiency", "efficiency"),
     ("steal_success_rate", "steal success"),
@@ -302,6 +313,22 @@ PRESETS: dict[str, TournamentSpec] = {
             "adapt-backoff[2]",
         ),
         steal_policies=("one", "adaptive[3]"),
+    ),
+    # The protocol axis (ISSUE 10): localized + cooperative stealing
+    # vs the baseline on the paper-calibrated large tree.
+    "protocol": TournamentSpec(
+        name="protocol",
+        tree="T3L",
+        nranks=64,
+        selectors=("rand", "tofu"),
+        protocols=(
+            "steal",
+            "forward[3]",
+            "regions[8]",
+            "forward[3]+regions[8]",
+            "lifelines[2:ring]",
+            "forward[2]+regions[8]+lifelines[2:regtree]",
+        ),
     ),
     # The full registry sweep (slow; bench/CLI territory).
     "full": TournamentSpec(

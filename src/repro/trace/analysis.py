@@ -24,11 +24,13 @@ import numpy as np
 from repro.errors import TraceError
 from repro.trace.events import (
     EV_DENY,
+    EV_FORWARD_SERVE,
     EV_LIFELINE_PUSH,
     EV_LIFELINE_WAKE,
     EV_PUSH_RECV,
     EV_SERVE,
     EV_STEAL_FAIL,
+    EV_STEAL_FORWARD,
     EV_STEAL_OK,
     EV_STEAL_SENT,
     EV_VICTIM_DRAW,
@@ -73,11 +75,24 @@ class TraceAnalysis:
 
     @property
     def requests_served(self) -> int:
-        return self.events.count(EV_SERVE)
+        """Serves of any kind: direct requests plus forwarded ones."""
+        return self.events.count(EV_SERVE) + self.events.count(
+            EV_FORWARD_SERVE
+        )
 
     @property
     def requests_denied(self) -> int:
         return self.events.count(EV_DENY)
+
+    @property
+    def forwarded_requests(self) -> int:
+        """Steal requests relayed onward instead of answered."""
+        return self.events.count(EV_STEAL_FORWARD)
+
+    @property
+    def forwards_served(self) -> int:
+        """Forwarded requests that ended in a serve (chain succeeded)."""
+        return self.events.count(EV_FORWARD_SERVE)
 
     @property
     def nodes_received(self) -> int:
@@ -95,7 +110,7 @@ class TraceAnalysis:
             ev[3]
             for evs in self.events.ranks
             for ev in evs
-            if ev[1] in (EV_SERVE, EV_LIFELINE_PUSH)
+            if ev[1] in (EV_SERVE, EV_LIFELINE_PUSH, EV_FORWARD_SERVE)
         )
 
     def steal_success_rate(self, rank: int | None = None) -> float:
@@ -200,6 +215,36 @@ class TraceAnalysis:
         return np.histogram(d, bins=bins)
 
     # ------------------------------------------------------------------
+    # Forwarding chains
+    # ------------------------------------------------------------------
+
+    def request_chain_lengths(self) -> np.ndarray:
+        """Forward-hop count of every completed steal attempt.
+
+        Walks the merged stream pairing each thief's outstanding
+        request (one at a time per thief, as in
+        :meth:`reply_latencies`) with the ``steal_forward`` relays that
+        carry its originating thief in ``b``.  A directly-answered
+        request contributes 0; a request relayed twice before a serve
+        or terminal deny contributes 2.  Relays for a thief with no
+        visible open request (ring-buffer truncation) are ignored, as
+        is a trailing attempt cut off by termination.
+        """
+        lengths: list[int] = []
+        hops: dict[int, int] = {}  # thief -> forwards so far
+        for _t, rank, etype, _a, b in self.events.merged():
+            if etype == EV_STEAL_SENT:
+                hops[rank] = 0
+            elif etype == EV_STEAL_FORWARD:
+                if b in hops:
+                    hops[b] += 1
+            elif etype in (EV_STEAL_OK, EV_STEAL_FAIL):
+                n = hops.pop(rank, None)
+                if n is not None:
+                    lengths.append(n)
+        return np.asarray(lengths, dtype=np.int64)
+
+    # ------------------------------------------------------------------
     # Failed-attempt chains
     # ------------------------------------------------------------------
 
@@ -240,6 +285,21 @@ class TraceAnalysis:
             f"success rate {self.steal_success_rate():.3f})",
             f"victim side: served {self.requests_served}, "
             f"denied {self.requests_denied}",
+        ]
+        if self.forwarded_requests:
+            chains = self.request_chain_lengths()
+            fwd = chains[chains > 0]
+            lines.append(
+                f"forwarding: {self.forwarded_requests} relays, "
+                f"{self.forwards_served} forward serves"
+                + (
+                    f", chain length mean {fwd.mean():.1f} "
+                    f"max {fwd.max()}"
+                    if fwd.size
+                    else ""
+                )
+            )
+        lines += [
             f"nodes moved: {self.nodes_sent} sent / "
             f"{self.nodes_received} received",
         ]

@@ -26,12 +26,14 @@ from repro.errors import TraceError
 from repro.trace.events import (
     EV_DENY,
     EV_FINISH,
+    EV_FORWARD_SERVE,
     EV_LIFELINE_PUSH,
     EV_LIFELINE_QUIESCE,
     EV_LIFELINE_WAKE,
     EV_PUSH_RECV,
     EV_SERVE,
     EV_STEAL_FAIL,
+    EV_STEAL_FORWARD,
     EV_STEAL_OK,
     EV_STEAL_SENT,
     EV_VICTIM_DRAW,
@@ -170,6 +172,8 @@ def _steal_flows(te: list[dict], events: EventTrace) -> None:
     The protocol allows one outstanding request per thief, so walking
     the merged stream with a per-thief open-flow table pairs every
     victim-side serve/deny and thief-side reply with its request.
+    Forward relays and forward serves join the same flow — a chained
+    attempt renders as one arrow threading every rank it visited.
     """
     flow_id = 0
     open_flow: dict[int, int] = {}  # thief -> flow id
@@ -205,6 +209,38 @@ def _steal_flows(te: list[dict], events: EventTrace) -> None:
                             "thief": a,
                             **({"nodes": b} if etype == EV_SERVE else {}),
                         },
+                    }
+                )
+        elif etype == EV_STEAL_FORWARD:
+            # Relay at `rank` toward `a` of the request thief `b` opened.
+            fid = open_flow.get(b)
+            if fid is not None:
+                te.append(
+                    {
+                        "ph": "t",
+                        "name": "steal",
+                        "cat": "steal",
+                        "id": fid,
+                        "pid": 0,
+                        "tid": rank,
+                        "ts": ts,
+                        "args": {"thief": b, "forwarded_to": a},
+                    }
+                )
+        elif etype == EV_FORWARD_SERVE:
+            # Serve of a forwarded request from thief `a`.
+            fid = open_flow.get(a)
+            if fid is not None:
+                te.append(
+                    {
+                        "ph": "t",
+                        "name": "steal",
+                        "cat": "steal",
+                        "id": fid,
+                        "pid": 0,
+                        "tid": rank,
+                        "ts": ts,
+                        "args": {"thief": a, "nodes": b, "forwarded": True},
                     }
                 )
         elif etype in (EV_STEAL_OK, EV_STEAL_FAIL):

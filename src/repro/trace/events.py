@@ -39,6 +39,8 @@ __all__ = [
     "EV_PUSH_RECV",
     "EV_TOKEN",
     "EV_FINISH",
+    "EV_STEAL_FORWARD",
+    "EV_FORWARD_SERVE",
     "EVENT_NAMES",
     "EVENT_SCHEMA",
     "EventRecorder",
@@ -76,6 +78,12 @@ EV_PUSH_RECV = 9
 EV_TOKEN = 10
 #: Finish broadcast delivered to this rank.
 EV_FINISH = 11
+#: Rank relayed a steal request instead of denying it (forwarding
+#: extension).  a=rank forwarded to, b=originating thief.
+EV_STEAL_FORWARD = 12
+#: Rank served a *forwarded* request; work flows straight to the
+#: originator.  a=originating thief, b=nodes sent.
+EV_FORWARD_SERVE = 13
 
 EVENT_NAMES = {
     EV_VICTIM_DRAW: "victim_draw",
@@ -90,6 +98,8 @@ EVENT_NAMES = {
     EV_PUSH_RECV: "push_recv",
     EV_TOKEN: "token",
     EV_FINISH: "finish",
+    EV_STEAL_FORWARD: "steal_forward",
+    EV_FORWARD_SERVE: "forward_serve",
 }
 
 #: ``etype -> (meaning of a, meaning of b)`` — the documented schema.
@@ -106,6 +116,8 @@ EVENT_SCHEMA = {
     EV_PUSH_RECV: ("victim rank", "nodes merged"),
     EV_TOKEN: ("token color (0 white, 1 black)", "-"),
     EV_FINISH: ("-", "-"),
+    EV_STEAL_FORWARD: ("rank forwarded to", "originating thief rank"),
+    EV_FORWARD_SERVE: ("originating thief rank", "nodes sent"),
 }
 
 

@@ -60,6 +60,11 @@ class RunResult:
     messages_dropped: int
     probes_started: int
 
+    #: Steal requests relayed onward instead of denied (the forwarding
+    #: protocol extension; 0 for the reference protocol).  Defaulted so
+    #: result dicts cached before the field existed still load.
+    requests_forwarded: int = 0
+
     trace: ActivityTrace | None = None
     #: Structured steal-event trace (``event_trace=True`` runs).
     #: Diagnostic-only: deliberately NOT serialized by :meth:`to_dict`
@@ -187,6 +192,7 @@ class RunResult:
             events_processed=outcome.events_processed,
             messages_dropped=outcome.messages_dropped,
             probes_started=outcome.probes_started,
+            requests_forwarded=sum(w.requests_forwarded for w in workers),
             trace=trace,
             events=events,
         )
@@ -242,6 +248,7 @@ class RunResult:
             "events_processed": self.events_processed,
             "messages_dropped": self.messages_dropped,
             "probes_started": self.probes_started,
+            "requests_forwarded": self.requests_forwarded,
             "trace": trace,
         }
 

@@ -1,0 +1,86 @@
+"""RegionMap: the locality geometry of region-first stealing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.protocol.regions import RegionMap
+
+
+class TestValidation:
+    def test_bounds_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            RegionMap([1, 4])
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            RegionMap([0, 4, 4])
+
+    def test_too_short(self):
+        with pytest.raises(ConfigurationError):
+            RegionMap([0])
+
+
+class TestGeometry:
+    def test_region_of_and_bounds_agree(self):
+        m = RegionMap([0, 4, 8, 16])
+        assert m.nregions == 3
+        assert m.nranks == 16
+        for rank in range(16):
+            region = m.region_of(rank)
+            lo, hi = m.bounds_of(region)
+            assert lo <= rank < hi
+
+    def test_peers_are_region_mates(self):
+        m = RegionMap([0, 4, 8])
+        assert m.peers(1) == [0, 2, 3]
+        assert m.peers(4) == [5, 6, 7]
+
+    def test_single_region_peers_everyone(self):
+        m = RegionMap([0, 8])
+        assert m.peers(3) == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_singleton_region_has_no_peers(self):
+        m = RegionMap([0, 1, 4])
+        assert m.peers(0) == []
+
+
+class TestBuild:
+    def test_aligned_build_snaps_to_node_blocks(self):
+        # 4 ranks per node; 2 regions over 16 ranks cut at rank 8 —
+        # a node boundary, so the map reports aligned.
+        rank_nodes = np.repeat(np.arange(4), 4)
+        m = RegionMap.build(16, 2, rank_nodes)
+        assert m.aligned
+        assert m.bounds == [0, 8, 16]
+        cut = m.bounds[1]
+        assert rank_nodes[cut] != rank_nodes[cut - 1]
+
+    def test_interleaved_nodes_not_aligned(self):
+        m = RegionMap.build(16, 4, np.array([0, 1] * 8))
+        assert not m.aligned
+        assert m.nranks == 16
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=64),
+    nregions=st.integers(min_value=1, max_value=8),
+    ranks_per_node=st.integers(min_value=1, max_value=8),
+)
+def test_build_partitions_exactly(nranks, nregions, ranks_per_node):
+    rank_nodes = np.arange(nranks) // ranks_per_node
+    m = RegionMap.build(nranks, nregions, rank_nodes)
+    # Bounds cover [0, nranks) contiguously.
+    assert m.bounds[0] == 0 and m.bounds[-1] == nranks
+    assert all(a < b for a, b in zip(m.bounds, m.bounds[1:]))
+    # peers() is an involution-free partition: every rank's region
+    # mates list the rank back.
+    for rank in range(nranks):
+        for peer in m.peers(rank):
+            assert rank in m.peers(peer)
+            assert m.region_of(peer) == m.region_of(rank)

@@ -1,0 +1,124 @@
+"""The protocol-variant grammar: spec strings <-> config overrides."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import registry
+from repro.core.config import WorkStealingConfig
+from repro.errors import RegistryError
+from repro.protocol.variants import protocol_overrides, protocol_tag
+from repro.uts.params import T3XS
+
+
+def _config(**kw) -> WorkStealingConfig:
+    kw.setdefault("tree", T3XS)
+    kw.setdefault("nranks", 16)
+    return WorkStealingConfig(**kw)
+
+
+class TestOverrides:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("steal", {}),
+            ("forward", {"protocol": "forward"}),
+            ("forward[3]", {"protocol": "forward", "forward_ttl": 3}),
+            ("regions[8]", {"regions": 8}),
+            ("regions[8:4]", {"regions": 8, "region_attempts": 4}),
+            ("lifelines[2]", {"lifelines": 2}),
+            (
+                "lifelines[2:ring]",
+                {"lifelines": 2, "lifeline_graph": "ring"},
+            ),
+            (
+                "forward[3]+regions[4]+lifelines[2:regtree]",
+                {
+                    "protocol": "forward",
+                    "forward_ttl": 3,
+                    "regions": 4,
+                    "lifelines": 2,
+                    "lifeline_graph": "regtree",
+                },
+            ),
+        ],
+    )
+    def test_grammar(self, spec, expected):
+        assert protocol_overrides(spec) == expected
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(RegistryError, match="more than once"):
+            protocol_overrides("forward+forward[3]")
+
+    def test_unknown_atom_rejected(self):
+        with pytest.raises(RegistryError, match="unknown protocol atom"):
+            protocol_overrides("warp[2]")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(RegistryError):
+            protocol_overrides("")
+
+    def test_overrides_build_valid_configs(self):
+        spec = "forward[3]+regions[4]+lifelines[2:ring]"
+        cfg = _config(**protocol_overrides(spec))
+        assert cfg.protocol == "forward"
+        assert cfg.forward_ttl == 3
+        assert cfg.regions == 4
+        assert cfg.lifelines == 2
+        assert cfg.lifeline_graph == "ring"
+
+
+class TestRegistry:
+    def test_exact_steal_resolves(self):
+        assert registry.resolve("protocol", "steal") == {}
+
+    def test_pattern_resolves(self):
+        assert registry.resolve("protocol", "forward[3]+regions[4]") == {
+            "protocol": "forward",
+            "forward_ttl": 3,
+            "regions": 4,
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RegistryError):
+            registry.resolve("protocol", "carrier-pigeon")
+
+
+class TestTag:
+    def test_default_is_steal(self):
+        assert protocol_tag(_config()) == "steal"
+
+    @pytest.mark.parametrize(
+        "kw,tag",
+        [
+            (dict(protocol="forward"), "fwd2"),
+            (dict(protocol="forward", forward_ttl=3), "fwd3"),
+            (dict(regions=8), "reg8"),
+            (dict(regions=8, region_attempts=4), "reg8:4"),
+            (dict(lifelines=2), "ll2"),
+            (dict(lifelines=2, lifeline_graph="ring"), "ll2:ring"),
+            (
+                dict(protocol="forward", regions=4, lifelines=2,
+                     lifeline_graph="regtree"),
+                "fwd2+reg4+ll2:regtree",
+            ),
+        ],
+    )
+    def test_tags(self, kw, tag):
+        assert protocol_tag(_config(**kw)) == tag
+
+    def test_label_suffix_only_for_non_default(self):
+        assert "+" not in _config().label().split("[")[0]
+        assert _config(protocol="forward").label().endswith("+fwd2")
+
+    def test_tag_round_trips_through_overrides(self):
+        # tag(config(overrides(spec))) names the same configuration.
+        spec = "forward[3]+regions[4:1]+lifelines[2:ring]"
+        cfg = _config(**protocol_overrides(spec))
+        assert protocol_tag(cfg) == "fwd3+reg4:1+ll2:ring"
+        # Inert knob values never leak into the tag.
+        assert protocol_tag(replace(cfg, protocol="steal")) == (
+            "reg4:1+ll2:ring"
+        )

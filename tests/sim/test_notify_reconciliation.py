@@ -83,6 +83,13 @@ CASES = [
     dict(selector="adapt-backoff[2]", lifelines=2),
     dict(selector="tofu", lifelines=2, steal_policy="adaptive[2]"),
     dict(selector="adapt-eps[0.2]", nranks=13),
+    dict(selector="rand", protocol="forward", forward_ttl=3),
+    dict(
+        selector="adapt-eps[0.2]",
+        protocol="forward",
+        regions=4,
+        lifelines=2,
+    ),
 ]
 
 
@@ -121,6 +128,66 @@ def test_notify_matches_counters_and_trace(case):
         analysis.per_rank_counts(EV_STEAL_OK),
         np.array([factory.states[r].ok for r in range(events.nranks)]),
     )
+
+
+FORWARD_CASES = [
+    dict(selector="rand", protocol="forward", forward_ttl=3),
+    dict(selector="rand", protocol="forward", regions=4),
+    dict(
+        selector="tofu",
+        protocol="forward",
+        forward_ttl=2,
+        regions=4,
+        lifelines=2,
+        lifeline_graph="ring",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "case", FORWARD_CASES, ids=lambda c: "-".join(map(str, c.values()))
+)
+def test_forward_counters_reconcile_with_trace(case):
+    """Per-rank forwarding counters == event stream, and the chain
+    walker's accounting stays inside the relay totals."""
+    _factory, outcome = _run(**dict(case))
+    from repro.trace.events import (
+        EV_FORWARD_SERVE,
+        EV_SERVE,
+        EV_STEAL_FORWARD,
+        EventTrace,
+    )
+
+    events = EventTrace.from_recorders(outcome.event_recorders)
+    analysis = TraceAnalysis(events)
+
+    for worker in outcome.workers:
+        assert worker.requests_forwarded == events.count(
+            EV_STEAL_FORWARD, worker.rank
+        )
+        assert worker.forwards_served == events.count(
+            EV_FORWARD_SERVE, worker.rank
+        )
+        # requests_served counts direct and forwarded serves alike.
+        assert worker.requests_served == events.count(
+            EV_SERVE, worker.rank
+        ) + events.count(EV_FORWARD_SERVE, worker.rank)
+
+    total_forwarded = sum(w.requests_forwarded for w in outcome.workers)
+    assert analysis.forwarded_requests == total_forwarded
+    assert total_forwarded > 0, "case never exercised forwarding"
+    assert analysis.forwards_served == sum(
+        w.forwards_served for w in outcome.workers
+    )
+    assert analysis.requests_served == sum(
+        w.requests_served for w in outcome.workers
+    )
+    # Every relay the chain walker attributes belongs to a completed
+    # attempt; relays of attempts cut off by termination are the only
+    # remainder.
+    chains = analysis.request_chain_lengths()
+    assert 0 <= chains.sum() <= total_forwarded
+    assert chains.max(initial=0) <= 10  # bounded by ttl + region hops
 
 
 def test_notified_work_is_real():

@@ -24,6 +24,7 @@ from repro.sim.messages import (
     Finish,
     LifelineDeregister,
     LifelineRegister,
+    StealForward,
     StealRequest,
     StealResponse,
     Token,
@@ -82,6 +83,13 @@ class _OpaquePayload:
 
 payloads = st.one_of(
     st.builds(StealRequest, thief=ranks, escalated=st.booleans()),
+    st.builds(
+        StealForward,
+        thief=ranks,
+        escalated=st.booleans(),
+        ttl=st.integers(min_value=0, max_value=2**30),
+        visited=st.lists(ranks, max_size=6).map(tuple),
+    ),
     st.builds(
         StealResponse,
         victim=ranks,
@@ -157,6 +165,21 @@ def test_chunk_payloads_roundtrip_node_exact(chunk_list, t, src, seq):
 
 def test_empty_outbox():
     assert decode_entries(encode_entries([])) == []
+
+
+def test_steal_forward_roundtrips_exactly():
+    # The forward's visited set rides the pickle extra section while
+    # ttl+escalated pack into the `b` slot; both halves must survive.
+    fwd = StealForward(thief=7, escalated=True, ttl=3, visited=(7, 2, 5))
+    box = [(0.25, 1, 2, EVT_MSG, 5, fwd)]
+    (back,) = decode_entries(encode_entries(box))
+    got = back[5]
+    assert type(got) is StealForward
+    assert got.thief == 7
+    assert got.escalated is True
+    assert got.ttl == 3
+    assert got.visited == (7, 2, 5)
+    assert isinstance(got.visited, tuple)
 
 
 def test_raw_escape_used_only_for_unknown_payloads():

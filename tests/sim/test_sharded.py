@@ -219,6 +219,79 @@ class TestDifferentialMatrix:
         assert_identical(_config(nranks=1), shards=1)
 
 
+PROTOCOL_CASES = [
+    dict(protocol="forward", forward_ttl=3),
+    dict(regions=4),
+    dict(
+        protocol="forward",
+        regions=4,
+        lifelines=2,
+        lifeline_graph="ring",
+    ),
+    dict(lifelines=2, lifeline_graph="random"),
+    dict(lifelines=3, lifeline_graph="regtree", regions=4),
+]
+
+_PROTOCOL_IDS = [
+    "forward3", "regions4", "fwd-reg-ring", "ll-random", "ll-regtree"
+]
+
+
+class TestProtocolDifferential:
+    """The protocol extensions ride the same bit-identity contract:
+    forwards traverse the shard codec, region draws and lifeline
+    graphs are rank-local state, so every engine must produce the
+    same bytes."""
+
+    @pytest.mark.parametrize("case", PROTOCOL_CASES, ids=_PROTOCOL_IDS)
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_shard_counts(self, case, shards):
+        assert_identical(_config(**case), shards=shards)
+
+    @pytest.mark.parametrize(
+        "case", PROTOCOL_CASES[:3], ids=_PROTOCOL_IDS[:3]
+    )
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_multiprocess_transports(self, case, transport):
+        assert_identical(
+            _config(**case), shards=4, workers=2, transport=transport
+        )
+
+    def test_forwarding_composes_with_adaptive_selector(self):
+        assert_identical(
+            _config(
+                selector="adapt-eps[0.2]",
+                steal_policy="adaptive[2]",
+                protocol="forward",
+                regions=4,
+            ),
+            shards=4,
+        )
+
+    def test_forwarding_non_aligned_allocation(self):
+        assert_identical(
+            _config(allocation="8RR", protocol="forward", regions=4),
+            shards=4,
+        )
+
+    def test_forwarding_odd_rank_count(self):
+        assert_identical(
+            _config(nranks=13, protocol="forward", forward_ttl=3, regions=3),
+            shards=4,
+        )
+
+    def test_forwarding_with_codec_off(self):
+        # StealForward has both a packed encoding and the pickle
+        # escape; the run must not care which carried it.
+        with engine_flags(WIRE_CODEC=False):
+            assert_identical(
+                _config(protocol="forward", regions=4, lifelines=2),
+                shards=4,
+                workers=2,
+                transport="shm",
+            )
+
+
 class TestAdaptiveDifferential:
     """Feedback-driven selectors must see the *same* notify stream in
     both engines: any divergence in adaptive state shows up here as a

@@ -72,6 +72,7 @@ class TestSpec:
                 len(spec.selectors)
                 * len(spec.steal_policies)
                 * len(spec.allocations)
+                * len(spec.protocols)
             )
             assert all(cfg.trace for cfg in configs)
             assert not any(cfg.event_trace for cfg in configs)
@@ -117,6 +118,41 @@ class TestRun:
         md = open(paths[1]).read()
         assert md.count("\n| ") == 1 + 4  # header + one line per row
         assert "adapt-sr[0.9]" in md
+
+
+class TestProtocolAxis:
+    SPEC = TournamentSpec(
+        name="proto-unit",
+        tree="T3XS",
+        nranks=16,
+        selectors=("rand",),
+        protocols=("steal", "forward[2]", "regions[4]"),
+    )
+
+    def test_protocol_axis_rows(self):
+        tournament = run_tournament(self.SPEC)
+        assert len(tournament.rows) == 3
+        assert {row["protocol"] for row in tournament.rows} == {
+            "steal",
+            "fwd2",
+            "reg4",
+        }
+        # The protocol tag is part of the label vocabulary too.
+        tagged = [r for r in tournament.rows if r["protocol"] != "steal"]
+        assert all("+" + r["protocol"] in r["label"] for r in tagged)
+
+    def test_bad_protocol_spec_fails_fast(self):
+        from repro.errors import RegistryError
+
+        spec = TournamentSpec(
+            name="bad",
+            tree="T3XS",
+            nranks=16,
+            selectors=("rand",),
+            protocols=("warp[2]",),
+        )
+        with pytest.raises(RegistryError):
+            spec.configs()
 
 
 class TestCli:
